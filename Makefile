@@ -1,0 +1,34 @@
+# Convenience targets for the VMAT reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples figures all clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+report:
+	$(PYTHON) -m repro report
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+figures:
+	$(PYTHON) -m repro fig7 --plot
+	$(PYTHON) -m repro fig8 --plot
+	$(PYTHON) -m repro connectivity --plot
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,71 @@
+"""Ablation A-multipath — single-path trees vs multi-path rings (§IV-D).
+
+"State-of-art aggregation approaches such as synopsis-diffusion often
+use multi-path ring-based aggregation ... This helps to route around
+failed parent or in our case, malicious parent."
+
+Sweep: one dropper placed at each interior position of a 5x5 grid, the
+minimum in the far corner.  Measured: fraction of placements where the
+very first execution already returns the correct minimum (no
+veto/pinpoint round needed), single-path vs multipath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.config import NetworkConfig
+from repro.topology import grid_topology
+
+from .helpers import print_table, run_once
+
+DEPTH = 12
+MIN_HOLDER = 24  # far corner of the 5x5 grid
+DROPPER_POSITIONS = tuple(
+    p for p in range(1, 24) if p != MIN_HOLDER
+)
+
+
+def run_one(dropper: int, multipath: bool) -> bool:
+    config = small_test_config(depth_bound=DEPTH)
+    if multipath:
+        config = replace(config, network=NetworkConfig(multipath=True))
+    deployment = build_deployment(
+        config=config,
+        topology=grid_topology(5, 5),
+        malicious_ids={dropper},
+        seed=3,
+    )
+    adversary = Adversary(
+        deployment.network, DropMinimumStrategy(predtest="deny"), seed=3
+    )
+    protocol = VMATProtocol(deployment.network, adversary=adversary)
+    readings = {i: 40.0 + i for i in deployment.topology.sensor_ids}
+    readings[MIN_HOLDER] = 1.0
+    result = protocol.execute(MinQuery(), readings)
+    return result.produced_result and result.estimate == 1.0
+
+
+def test_multipath_routes_around_droppers(benchmark):
+    def experiment():
+        single = sum(run_one(p, multipath=False) for p in DROPPER_POSITIONS)
+        multi = sum(run_one(p, multipath=True) for p in DROPPER_POSITIONS)
+        return single, multi
+
+    single, multi = run_once(benchmark, experiment)
+    total = len(DROPPER_POSITIONS)
+    print_table(
+        "One dropper swept over the grid: first-shot correct results",
+        ["aggregation", "correct first try", "out of"],
+        [["single-path tree", single, total], ["multi-path rings", multi, total]],
+    )
+
+    # Multipath strictly dominates, and by a visible margin: only a
+    # dropper that cuts EVERY shortest path can still suppress the
+    # minimum, and no single interior node does that on a grid.
+    assert multi > single
+    assert multi == total

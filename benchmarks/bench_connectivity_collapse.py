@@ -1,0 +1,66 @@
+"""Claim C-collapse — mass revocation disconnects the network (§IX).
+
+The paper's closing caveat: against a *large* adversary holding much of
+the key pool, revocation self-destructs — removing all compromised keys
+disconnects the secure graph, at which point tolerating (Yu [29]) beats
+revoking.  This bench regenerates that cliff:
+
+* measured: share of sensors still securely connected to the base
+  station as a growing random fraction of the pool is revoked;
+* closed form: per-link survival probability under the Poisson
+  shared-key model, at bench scale and at paper scale (r=250, u=100k).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import link_survival_probability, revocation_sweep
+from repro.config import ExperimentConfig, KeyConfig, ProtocolConfig
+
+from .helpers import print_table, run_once
+
+# Sparser rings than the unit-test config so the cliff is visible:
+# mean shared keys per pair = 60^2 / 1000 = 3.6.
+BENCH_KEYS = KeyConfig(pool_size=1_000, ring_size=60)
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99)
+
+
+def test_connectivity_collapse_under_mass_revocation(benchmark):
+    config = ExperimentConfig(
+        keys=BENCH_KEYS, protocol=ProtocolConfig(depth_bound=12)
+    )
+
+    series = run_once(
+        benchmark,
+        lambda: revocation_sweep(
+            120, FRACTIONS, config=config, trials=3, seed=5
+        ),
+    )
+
+    rows = [
+        [
+            fraction,
+            series.connected_share[fraction],
+            link_survival_probability(BENCH_KEYS, fraction),
+            link_survival_probability(KeyConfig(), fraction),
+        ]
+        for fraction in FRACTIONS
+    ]
+    print_table(
+        "Secure connectivity vs fraction of the key pool revoked",
+        ["pool revoked", "connected share (measured)",
+         "link survival (bench keys)", "link survival (paper keys)"],
+        rows,
+    )
+    collapse = series.collapse_fraction(threshold=0.5)
+    print(f"collapse point (connected share < 50%): {collapse}")
+
+    # Shape: starts fully connected, decays monotonically (within MC
+    # noise), and has genuinely collapsed by 99% revocation.
+    assert series.connected_share[0.0] == 1.0
+    shares = [series.connected_share[f] for f in FRACTIONS]
+    for earlier, later in zip(shares, shares[1:]):
+        assert later <= earlier + 0.05
+    assert series.connected_share[0.99] < 0.3
+    assert collapse is not None

@@ -1,0 +1,83 @@
+"""End-to-end liveness (Theorem 7) — VMAT vs the alarm-only baseline.
+
+The paper's core motivation (Section I): with alarm-only schemes "even a
+single malicious sensor can keep failing the final result verification
+without exposing itself" — the network is bricked forever.  VMAT turns
+every corrupted execution into a revocation, so a persistent attacker is
+neutralized after finitely many queries.
+
+Reported: executions until an answered query (VMAT) vs alarms raised
+with zero progress (baseline), for 1 and 2 persistent droppers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.baselines import AlarmOnlyProtocol
+from repro.topology import grid_topology
+
+from .helpers import print_table, run_once
+
+from repro.topology import line_topology
+
+# Each scenario pins the minimum behind the dropper(s): a line with one
+# mid-path dropper, and a grid whose far corner is fenced by two.
+SCENARIOS = [
+    ("one dropper (line)", line_topology(8), {3}, 7, 12),
+    ("two droppers (grid)", grid_topology(4, 4), {11, 14}, 15, 10),
+]
+ALARM_CAP = 25
+
+
+def build(topology, malicious, min_holder, depth_bound, seed=21):
+    deployment = build_deployment(
+        config=small_test_config(depth_bound=depth_bound),
+        topology=topology,
+        malicious_ids=malicious,
+        seed=seed,
+    )
+    adversary = Adversary(
+        deployment.network, DropMinimumStrategy(predtest="deny"), seed=seed
+    )
+    readings = {i: 50.0 + i for i in deployment.topology.sensor_ids}
+    readings[min_holder] = 2.0
+    return deployment, adversary, readings
+
+
+def test_liveness_vmat_vs_alarm_only(benchmark):
+    def experiment():
+        rows = []
+        for label, topology, malicious, min_holder, depth in SCENARIOS:
+            deployment, adversary, readings = build(topology, malicious, min_holder, depth)
+            alarm = AlarmOnlyProtocol(deployment.network, adversary=adversary)
+            alarm_session = alarm.run_session(
+                MinQuery(), readings, max_executions=ALARM_CAP
+            )
+
+            deployment, adversary, readings = build(topology, malicious, min_holder, depth)
+            vmat = VMATProtocol(deployment.network, adversary=adversary)
+            vmat_session = vmat.run_session(MinQuery(), readings, max_executions=400)
+            rows.append(
+                (
+                    label,
+                    "stalled" if alarm_session.stalled else "answered",
+                    vmat_session.executions_until_result,
+                    vmat_session.total_revocations,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        f"Persistent dropping attack (alarm-only capped at {ALARM_CAP} tries)",
+        ["scenario", "alarm-only", "VMAT executions to answer", "VMAT revocations"],
+        rows,
+    )
+
+    for label, alarm_state, vmat_execs, revocations in rows:
+        assert alarm_state == "stalled", "the baseline never recovers"
+        assert vmat_execs < 400, "VMAT always recovers"
+        assert revocations >= vmat_execs - 1, "every failed execution pays"

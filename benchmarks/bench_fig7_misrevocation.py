@@ -1,0 +1,70 @@
+"""Figure 7 — effectiveness of edge-key revocation (Section IX).
+
+Regenerates both panels: average number of honest sensors mis-revoked
+vs. threshold θ, for n ∈ {1,000, 10,000} and f ∈ {1, 5, 10, 20}
+malicious sensors, with the paper's key parameters (r = 250 keys from a
+pool of u = 100,000) and 100 trials per point.
+
+Paper checkpoints asserted:
+* f = 1  -> roughly 7 exposed keys suffice with near-zero mis-revocation;
+* f = 20 -> θ = 27 (±3 here, it is read off a plot) keeps the average
+  number of mis-revoked honest sensors below 1 at n = 10,000;
+* the safe θ stays an order of magnitude below the ring size (the >90%
+  revocation-saving claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import misrevocation_trials
+from repro.config import KeyConfig
+
+from .helpers import print_table, run_once
+
+PAPER_KEYS = KeyConfig()  # u = 100,000, r = 250
+THETAS = tuple(range(1, 41))
+MALICIOUS_COUNTS = (1, 5, 10, 20)
+TRIALS = 100
+
+
+@pytest.mark.parametrize("num_sensors", [1_000, 10_000])
+def test_fig7_misrevocation_curves(benchmark, num_sensors):
+    def experiment():
+        return {
+            f: misrevocation_trials(
+                num_sensors, f, THETAS, trials=TRIALS, key_config=PAPER_KEYS, seed=0
+            )
+            for f in MALICIOUS_COUNTS
+        }
+
+    series_by_f = run_once(benchmark, experiment)
+
+    rows = []
+    for theta in (1, 3, 5, 7, 10, 15, 20, 25, 27, 30, 35, 40):
+        rows.append(
+            [theta] + [series_by_f[f].avg_misrevoked[theta] for f in MALICIOUS_COUNTS]
+        )
+    print_table(
+        f"Figure 7 (n={num_sensors}): avg # honest sensors mis-revoked",
+        ["theta"] + [f"f={f}" for f in MALICIOUS_COUNTS],
+        rows,
+    )
+
+    # Shape assertions (paper checkpoints).
+    f1 = series_by_f[1]
+    assert f1.avg_misrevoked[7] < 0.5, "f=1 should be clean by theta=7"
+    assert f1.smallest_theta_below(1.0) <= 7
+
+    f20 = series_by_f[20]
+    safe_20 = f20.smallest_theta_below(1.0)
+    print(f"\nsmallest theta with avg mis-revocations < 1 at f=20: {safe_20} "
+          f"(paper: 27)")
+    assert 22 <= safe_20 <= 31
+
+    # Larger f needs larger theta (the figure's ordering).
+    safes = [series_by_f[f].smallest_theta_below(1.0) for f in MALICIOUS_COUNTS]
+    assert safes == sorted(safes)
+
+    # ">90% of the 250 edge keys need not be revoked one by one".
+    assert safe_20 <= PAPER_KEYS.ring_size * 0.12

@@ -1,0 +1,76 @@
+"""Figure 8 — approximation quality of COUNT via synopses (Section IX).
+
+Regenerates the figure's series with the paper's parameters: 100
+synopses, predicate counts swept over two orders of magnitude, 200
+trials per point; average relative error plus percentile curves.
+
+Paper checkpoints asserted:
+* average relative error below 10% at m = 100 for every count value;
+* the curves are flat in the count (the estimator's error does not
+  depend on the answer's magnitude);
+* the end-to-end protocol (PRF synopses, MACs, tree, SOF) on a simulated
+  deployment shows the same error scale as the distributional model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure8
+from repro.analysis.approximation import protocol_count_trial
+
+from .helpers import print_table, run_once
+
+COUNTS = (10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000)
+NUM_SYNOPSES = 100
+TRIALS = 200
+
+
+def test_fig8_count_approximation(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: figure8(counts=COUNTS, num_synopses=NUM_SYNOPSES, trials=TRIALS, seed=0),
+    )
+
+    rows = [
+        [
+            count,
+            series.average(count),
+            series.percentile(count, 50),
+            series.percentile(count, 90),
+            series.percentile(count, 99),
+        ]
+        for count in COUNTS
+    ]
+    print_table(
+        f"Figure 8: relative error of COUNT, m={NUM_SYNOPSES}, {TRIALS} trials",
+        ["count", "average", "p50", "p90", "p99"],
+        rows,
+    )
+
+    for count in COUNTS:
+        assert series.average(count) < 0.10, "paper: average error below 10%"
+        assert series.percentile(count, 50) <= series.percentile(count, 90)
+        assert series.percentile(count, 90) <= series.percentile(count, 99)
+
+    averages = [series.average(c) for c in COUNTS]
+    assert max(averages) / min(averages) < 2.0, "error should be flat in count"
+
+
+def test_fig8_end_to_end_protocol(benchmark):
+    """Cross-check: the same estimator through the full protocol stack."""
+
+    def experiment():
+        return [
+            protocol_count_trial(40, 12, num_synopses=80, seed=seed)
+            for seed in range(4)
+        ]
+
+    trials = run_once(benchmark, experiment)
+    print_table(
+        "Figure 8 cross-check: full-protocol COUNT (n=39 sensors, truth=12)",
+        ["trial", "estimate", "rel error"],
+        [[i, est, err] for i, (est, err) in enumerate(trials)],
+    )
+    errors = [err for _, err in trials]
+    assert sum(errors) / len(errors) < 0.35

@@ -1,0 +1,55 @@
+"""Theorems 2 and 7 — O(1) flooding rounds for the happy path, and the
+Ω(log n) gap to the set-sampling alternative [29].
+
+Sweeps network size and measures the flooding rounds of one honest VMAT
+execution (tree announce/flood + query announce + aggregation +
+confirmation announce/flood): the count must be a constant independent
+of n, while the set-sampling cost model grows logarithmically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.baselines import SetSamplingCostModel
+from repro.topology import random_geometric_topology
+from repro.topology.generators import recommended_radius
+
+from .helpers import print_table, run_once
+
+SIZES = (50, 100, 200, 400)
+
+
+def test_flooding_rounds_constant_in_n(benchmark):
+    def experiment():
+        rounds = {}
+        for n in SIZES:
+            topology = random_geometric_topology(
+                n, recommended_radius(n), seed=1
+            )
+            deployment = build_deployment(
+                config=small_test_config(depth_bound=12), topology=topology, seed=1
+            )
+            protocol = VMATProtocol(deployment.network)
+            readings = {i: 10.0 + (i % 9) for i in topology.sensor_ids}
+            result = protocol.execute(MinQuery(), readings)
+            assert result.produced_result
+            rounds[n] = result.flooding_rounds
+        return rounds
+
+    rounds = run_once(benchmark, experiment)
+    model = SetSamplingCostModel()
+    print_table(
+        "Flooding rounds per query: VMAT (Theorem 2) vs set-sampling [29]",
+        ["n", "VMAT rounds", "set-sampling rounds"],
+        [[n, rounds[n], model.flooding_rounds(n)] for n in SIZES],
+    )
+
+    # O(1): identical at every size.
+    assert len(set(rounds.values())) == 1
+    assert rounds[SIZES[0]] <= 6.0
+
+    # The crossover story: sampling costs grow with n, VMAT's don't.
+    assert model.flooding_rounds(SIZES[-1]) > model.flooding_rounds(SIZES[0])
+    assert model.flooding_rounds(SIZES[-1]) > rounds[SIZES[-1]] * 5

@@ -1,0 +1,84 @@
+"""Ablation A-keys — Eschenauer–Gligor rings vs pairwise keys (§III).
+
+The paper picks E-G because ``r < n`` scales ("otherwise it would be
+better for each sensor to hold a distinct key for every other sensor")
+and notes VMAT works with other schemes.  This bench quantifies the
+trade on the same attacked deployment:
+
+* **pinpointing cost** — pairwise keys have ≤ 2 holders, so Figure 6's
+  holder search collapses; E-G pays a few extra tests;
+* **blame precision** — a pairwise revocation names the exact link; an
+  E-G revocation names a key possibly shared by bystanders (framing
+  risk, Figure 7);
+* **storage** — the cost E-G exists to avoid: ring size n-1 vs r.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.keys.schemes import PairwiseScheme
+from repro.topology import line_topology
+
+from .helpers import print_table, run_once
+
+NUM_NODES = 10
+DEPTH = 12
+
+
+def run_scheme(key_scheme: str):
+    dep = build_deployment(
+        config=small_test_config(depth_bound=DEPTH),
+        topology=line_topology(NUM_NODES),
+        malicious_ids={4},
+        seed=6,
+        key_scheme=key_scheme,
+    )
+    adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=6)
+    protocol = VMATProtocol(dep.network, adversary=adv)
+    readings = {i: 40.0 + i for i in dep.topology.sensor_ids}
+    readings[NUM_NODES - 1] = 1.0
+    result = protocol.execute(MinQuery(), readings)
+    assert result.outcome is ExecutionOutcome.VETO_PINPOINT
+    loot = dep.network.adversary_pool_indices()
+    assert all(e.target in loot for e in result.revocations if e.kind == "key")
+    revoked = result.pinpoint.blamed_key
+    bystanders = [
+        h for h in dep.registry.holders(revoked) if h != 4
+    ]
+    return {
+        "ring size": dep.config.keys.ring_size,
+        "pool size": dep.config.keys.pool_size,
+        "predicate tests": result.pinpoint.tests_run,
+        "bystander holders of revoked key": len(bystanders),
+    }
+
+
+def test_key_scheme_tradeoffs(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            "eschenauer-gligor": run_scheme("eschenauer-gligor"),
+            "pairwise": run_scheme("pairwise"),
+        },
+    )
+    metrics = list(next(iter(results.values())))
+    print_table(
+        f"Key schemes under the same dropping attack (n={NUM_NODES})",
+        ["metric"] + list(results),
+        [[m] + [results[s][m] for s in results] for m in metrics],
+    )
+
+    eg, pw = results["eschenauer-gligor"], results["pairwise"]
+    # Pairwise: exact blame, fewer-or-equal tests, but per-node storage
+    # that grows with n (the scaling cost E-G avoids at r << n).
+    assert pw["bystander holders of revoked key"] <= 1
+    assert pw["predicate tests"] <= eg["predicate tests"]
+    assert pw["ring size"] == NUM_NODES - 1
+    # At paper scale the comparison flips hard: r = 250 vs n - 1 = 9,999.
+    paper_pairwise = PairwiseScheme(10_000)
+    assert paper_pairwise.key_config().ring_size == 9_999
+    print("\nat n = 10,000: E-G stores 250 keys/sensor, pairwise would need "
+          f"{paper_pairwise.key_config().ring_size} — the scaling argument of §III")

@@ -1,0 +1,117 @@
+"""Paper-scale end-to-end run: n = 1,000 sensors, u = 100,000, r = 250.
+
+Everything else in the harness uses downsized key pools for speed; this
+bench runs the full stack at the paper's own parameters (Section IX):
+the real Eschenauer–Gligor draw (each neighbour pair shares a key with
+probability ≈ 0.47, so the secure graph is the radio graph roughly
+halved), a four-figure sensor population, and a fenced-vetoer dropping
+attack with complete pinpointing.
+
+Checks:
+* the secure subgraph keeps the deployment connected at paper density;
+* an honest MIN query is exact and costs O(1) flooding rounds;
+* a dropping attack is pinpointed with O(log r) predicate tests and
+  only adversary-held keys revoked — at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ExecutionOutcome,
+    ExperimentConfig,
+    KeyConfig,
+    MinQuery,
+    ProtocolConfig,
+    VMATProtocol,
+    build_deployment,
+)
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.topology import random_geometric_topology
+from repro.topology.generators import recommended_radius
+
+from .helpers import print_table, run_once
+
+NUM_NODES = 1_000
+PAPER_CONFIG = ExperimentConfig(
+    keys=KeyConfig(),  # u = 100,000, r = 250
+    protocol=ProtocolConfig(depth_bound=14),
+)
+
+
+def _topology(seed=2):
+    # Extra margin: the secure subgraph keeps ~47% of radio links.
+    return random_geometric_topology(
+        NUM_NODES, recommended_radius(NUM_NODES, margin=2.2), seed=seed
+    )
+
+
+def test_paper_scale_honest_query(benchmark):
+    def experiment():
+        topology = _topology()
+        deployment = build_deployment(config=PAPER_CONFIG, topology=topology, seed=2)
+        component = deployment.network.honest_secure_component()
+        depth = deployment.network.effective_depth_bound()
+        protocol = VMATProtocol(deployment.network, depth_bound=depth + 2)
+        readings = {i: 100.0 + (i % 37) for i in topology.sensor_ids}
+        readings[777] = 1.0
+        result = protocol.execute(MinQuery(), readings)
+        return len(component), depth, result
+
+    component_size, depth, result = run_once(benchmark, experiment)
+    print_table(
+        f"Paper-scale deployment (n={NUM_NODES}, u=100k, r=250)",
+        ["metric", "value"],
+        [
+            ["secure component", component_size],
+            ["secure depth", depth],
+            ["outcome", result.outcome.value],
+            ["estimate", result.estimate],
+            ["flooding rounds", result.flooding_rounds],
+        ],
+    )
+    assert component_size == NUM_NODES  # E-G density keeps it connected
+    assert result.produced_result and result.estimate == 1.0
+    assert result.flooding_rounds <= 6.0  # O(1), independent of n
+
+
+def test_paper_scale_attacked_query(benchmark):
+    def experiment():
+        topology = _topology()
+        fenced = set(topology.neighbors(777))  # every route out of 777
+        deployment = build_deployment(
+            config=PAPER_CONFIG, topology=topology, seed=2, malicious_ids=fenced
+        )
+        adversary = Adversary(
+            deployment.network, DropMinimumStrategy(predtest="deny"), seed=2
+        )
+        protocol = VMATProtocol(deployment.network, adversary=adversary, depth_bound=12)
+        readings = {i: 100.0 + (i % 37) for i in topology.sensor_ids}
+        readings[777] = 1.0
+        result = protocol.execute(MinQuery(), readings)
+        loot = deployment.network.adversary_pool_indices()
+        safe = all(
+            (e.kind == "key" and e.target in loot)
+            or (e.kind == "sensor" and e.target in fenced)
+            for e in result.revocations
+        )
+        return len(fenced), result, safe
+
+    num_malicious, result, safe = run_once(benchmark, experiment)
+    print_table(
+        f"Paper-scale dropping attack (n={NUM_NODES}, {num_malicious} droppers)",
+        ["metric", "value"],
+        [
+            ["outcome", result.outcome.value],
+            ["predicate tests", result.pinpoint.tests_run],
+            ["revocations", len(result.revocations)],
+            ["only adversary keys revoked", safe],
+        ],
+    )
+    assert result.outcome is ExecutionOutcome.VETO_PINPOINT
+    assert result.revocations
+    assert safe
+    # O(log r) tests for a one-step trail: log2(250) ~ 8, plus the
+    # failed Figure-6 probe.
+    assert result.pinpoint.tests_run <= 30

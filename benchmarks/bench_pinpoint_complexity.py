@@ -1,0 +1,74 @@
+"""Theorem 6 — pinpointing costs O(L log n) flooding rounds.
+
+Runs the dropping attack on line topologies of increasing depth and
+measures the keyed predicate tests (2 flooding rounds each) per
+veto-triggered pinpointing run, for a worst-case vetoer at the far end.
+The count must grow at most linearly in L with a log-sized constant —
+and the *denying* adversary (worst case for walk length) is used so the
+trail is walked end to end.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.topology import line_topology
+
+from .helpers import print_table, run_once
+
+DEPTHS = (4, 8, 12, 16)
+
+
+def run_depth(depth: int):
+    """Line of `depth+1` nodes, dropper adjacent to the BS (worst case:
+    the audit trail spans the whole line)."""
+    num_nodes = depth + 1
+    deployment = build_deployment(
+        config=small_test_config(depth_bound=depth + 2),
+        topology=line_topology(num_nodes),
+        malicious_ids={1},
+        seed=depth,
+    )
+    adversary = Adversary(deployment.network, DropMinimumStrategy(predtest="deny"), seed=depth)
+    protocol = VMATProtocol(deployment.network, adversary=adversary)
+    readings = {i: 100.0 + i for i in deployment.topology.sensor_ids}
+    readings[num_nodes - 1] = 1.0  # minimum at the far end
+    result = protocol.execute(MinQuery(), readings)
+    assert result.outcome is ExecutionOutcome.VETO_PINPOINT
+    return result.pinpoint
+
+
+def test_pinpoint_tests_scale_with_depth(benchmark):
+    outcomes = run_once(benchmark, lambda: {d: run_depth(d) for d in DEPTHS})
+
+    ring_size = small_test_config().keys.ring_size
+    log_r = math.ceil(math.log2(ring_size))
+    rows = []
+    for depth in DEPTHS:
+        pin = outcomes[depth]
+        rows.append([depth, pin.steps, pin.tests_run, 2 * pin.tests_run])
+    print_table(
+        "Theorem 6: veto-triggered pinpointing cost vs network depth L",
+        ["L", "trail steps", "predicate tests", "flooding rounds"],
+        rows,
+    )
+
+    # Trail steps track the depth (the vetoer sits L hops out).
+    for depth in DEPTHS:
+        assert outcomes[depth].steps <= depth + 1
+
+    # Tests per step bounded by the binary searches: one ring search
+    # (log r + 1) plus one holders search (~2 log t + 2).
+    for depth in DEPTHS:
+        per_step = outcomes[depth].tests_run / outcomes[depth].steps
+        assert per_step <= 3 * log_r + 10
+
+    # Growth is linear in L: the per-step cost (the "log n" factor) stays
+    # nearly flat as L quadruples.
+    per_step_first = outcomes[DEPTHS[0]].tests_run / outcomes[DEPTHS[0]].steps
+    per_step_last = outcomes[DEPTHS[-1]].tests_run / outcomes[DEPTHS[-1]].steps
+    assert per_step_last / per_step_first <= 1.5

@@ -1,0 +1,96 @@
+"""Claim C-overhead — what VMAT's security costs over undefended TAG.
+
+The paper positions VMAT against *secure* baselines; this bench adds the
+floor: insecure TAG [15] (hop-count tree + unverified convergecast, no
+confirmation, no audit state).  Measured on identical deployments:
+
+* rounds and bytes for a MIN query, TAG vs VMAT happy path;
+* what each does under a dropping attack: TAG silently returns the
+  wrong answer; VMAT refuses and starts charging the attacker.
+
+The point of the table: verifiability costs a small constant factor —
+not an order of magnitude — while changing the attack outcome from
+"silent corruption" to "attacker pays".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.baselines import run_insecure_tag_min
+from repro.topology import grid_topology
+
+from .helpers import print_table, run_once
+
+DEPTH = 10
+
+
+def deployment(malicious=frozenset(), seed=12):
+    return build_deployment(
+        config=small_test_config(depth_bound=DEPTH),
+        topology=grid_topology(4, 4),
+        malicious_ids=malicious,
+        seed=seed,
+    )
+
+
+def test_security_overhead_and_attack_outcomes(benchmark):
+    def experiment():
+        readings = {i: 30.0 + i for i in range(1, 16)}
+        readings[15] = 1.0
+
+        dep = deployment()
+        tag_honest = run_insecure_tag_min(dep.network, None, DEPTH, readings)
+
+        dep = deployment()
+        protocol = VMATProtocol(dep.network)
+        before = dep.network.metrics.total_bytes()
+        vmat_honest = protocol.execute(MinQuery(), readings)
+        vmat_bytes = dep.network.metrics.total_bytes() - before
+
+        attackers = {11, 14}
+        dep = deployment(malicious=attackers)
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=12)
+        tag_attacked = run_insecure_tag_min(dep.network, adv, DEPTH, readings)
+        tag_revoked = len(dep.registry.revoked_keys)
+
+        dep = deployment(malicious=attackers)
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=12)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        vmat_attacked = protocol.execute(MinQuery(), readings)
+        vmat_revoked = len(dep.registry.revoked_keys)
+
+        return (
+            tag_honest, vmat_honest, vmat_bytes,
+            tag_attacked, tag_revoked, vmat_attacked, vmat_revoked,
+        )
+
+    (tag_honest, vmat_honest, vmat_bytes,
+     tag_attacked, tag_revoked, vmat_attacked, vmat_revoked) = run_once(
+        benchmark, experiment
+    )
+
+    print_table(
+        "Security overhead and attack outcomes (MIN query, 4x4 grid)",
+        ["metric", "insecure TAG [15]", "VMAT"],
+        [
+            ["honest rounds", tag_honest.flooding_rounds, vmat_honest.flooding_rounds],
+            ["honest bytes", tag_honest.total_bytes, vmat_bytes],
+            ["honest answer", tag_honest.minimum, vmat_honest.estimate],
+            ["attacked answer", tag_attacked.minimum,
+             vmat_attacked.estimate if vmat_attacked.produced_result else "refused"],
+            ["keys revoked under attack", tag_revoked, vmat_revoked],
+        ],
+    )
+
+    # Honest overhead: a small constant factor.
+    assert vmat_honest.flooding_rounds / tag_honest.flooding_rounds <= 3.0
+    assert vmat_bytes / tag_honest.total_bytes <= 25.0
+    assert tag_honest.minimum == vmat_honest.estimate == 1.0
+    # Under attack: TAG silently lies; VMAT refuses and revokes.
+    assert tag_attacked.minimum > 1.0
+    assert tag_revoked == 0
+    assert not vmat_attacked.produced_result
+    assert vmat_revoked >= 1

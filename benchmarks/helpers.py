@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one table/figure/claim from the paper's
+evaluation (see DESIGN.md §3 for the index).  Benches run the full
+experiment once per benchmark round (``rounds=1``) — they measure the
+experiment and *print the same rows/series the paper reports*, then
+assert the qualitative shape (who wins, by roughly what factor).
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence
+
+
+def run_once(benchmark, experiment: Callable):
+    """Run ``experiment`` exactly once under the benchmark timer and
+    return its result for printing/assertions."""
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

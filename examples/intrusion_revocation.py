@@ -1,0 +1,73 @@
+"""Persistent intruder vs VMAT vs the alarm-only state of the art.
+
+A compromised sensor on the only path to a cold spot silently drops the
+true minimum every single query (the Section I nightmare scenario):
+
+* the **alarm-only** baseline (SHIA-style) raises an alarm every time
+  and never answers — one malicious sensor stalls the network forever;
+* **VMAT** revokes at least one adversary key per corrupted execution
+  (Theorem 7); the θ rule then takes the whole sensor out, and queries
+  flow again.
+
+Run:  python examples/intrusion_revocation.py
+"""
+
+from __future__ import annotations
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.baselines import AlarmOnlyProtocol
+from repro.topology import grid_topology
+
+MALICIOUS = {11, 14}  # both neighbours of the far corner
+
+
+def fresh_scenario():
+    deployment = build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(4, 4),
+        malicious_ids=MALICIOUS,
+        seed=21,
+    )
+    adversary = Adversary(
+        deployment.network, DropMinimumStrategy(predtest="deny"), seed=21
+    )
+    readings = {i: 50.0 + i for i in deployment.topology.sensor_ids}
+    readings[15] = 2.0  # the cold corner, reachable only through droppers
+    return deployment, adversary, readings
+
+
+def main() -> None:
+    query = MinQuery()
+
+    # ----- alarm-only: detection without consequences ----------------
+    deployment, adversary, readings = fresh_scenario()
+    alarm_protocol = AlarmOnlyProtocol(deployment.network, adversary=adversary)
+    session = alarm_protocol.run_session(query, readings, max_executions=12)
+    print("alarm-only baseline (SHIA-style):")
+    print(f"  {len(session.executions)} executions, all alarms: {session.stalled}")
+    print(f"  keys revoked: {len(deployment.registry.revoked_keys)} — "
+          "no pinpointing, no progress, stalled forever\n")
+
+    # ----- VMAT: every corrupted execution costs the adversary --------
+    deployment, adversary, readings = fresh_scenario()
+    protocol = VMATProtocol(deployment.network, adversary=adversary)
+    session = protocol.run_session(query, readings, max_executions=300)
+    print("VMAT:")
+    for index, execution in enumerate(session.executions, start=1):
+        if execution.produced_result:
+            print(f"  execution {index}: MIN = {execution.estimate}")
+        elif index <= 6 or index == len(session.executions) - 1:
+            keys = [e.target for e in execution.revocations if e.kind == "key"]
+            sensors = [e.target for e in execution.revocations if e.kind == "sensor"]
+            note = f"sensors {sensors} fully revoked" if sensors else f"key {keys} revoked"
+            print(f"  execution {index}: {execution.outcome.value} -> {note}")
+        elif index == 7:
+            print("  ...")
+    print(f"\n  answered after {session.executions_until_result} executions; "
+          f"revoked sensors: {sorted(deployment.registry.revoked_sensors)}")
+    assert session.final_estimate is not None
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The Byzantine adversary (Section III attack model).
+
+The adversary compromises up to ``f`` sensors, learns every key they
+store (sensor keys + key rings, pooled across all compromised sensors),
+sees every message in the network, and may transmit anything that loot
+can authenticate, at any interval, to any sensor (wormholes included).
+It cannot forge MACs for keys it does not hold — enforced here with real
+HMACs, not by convention.
+
+:class:`~repro.adversary.base.Adversary` owns the compromised state and
+dispatches per-interval hooks to a :class:`~repro.adversary.base.Strategy`.
+The base strategy mimics honest behaviour exactly (a compromised-but-
+passive sensor); concrete attacks in :mod:`~repro.adversary.strategies`
+override individual hooks:
+
+* :class:`DropMinimumStrategy` — silently drop child values (§IV-B).
+* :class:`HideAndVetoStrategy` — report a huge value, then legitimately
+  veto it (§IV-C "a malicious sensor can generate a valid veto").
+* :class:`JunkMinimumStrategy` — inject a spurious minimum (§IV-B).
+* :class:`SpuriousVetoStrategy` — choke the confirmation phase with
+  spurious vetoes to beat the legitimate one (§IV-C).
+* :class:`WormholeStrategy` — tunnel tree beacons to inflate hop counts
+  (Figure 2(c)); harmless against timestamp levels.
+* :class:`ChokingFloodStrategy` — brute junk flooding, the attack that
+  breaks unverifiable-relay baselines but not VMAT.
+* Predicate-test policies (deny / lie-yes / coin-flip) composable with
+  the above via the ``predtest`` parameter.
+"""
+
+from .base import Adversary, MaliciousNodeState, Strategy
+from .strategies import (
+    AdaptiveStrategy,
+    ChokingFloodStrategy,
+    PolicyStrategy,
+    DropMinimumStrategy,
+    HideAndVetoStrategy,
+    JunkMinimumStrategy,
+    PassiveStrategy,
+    PerNodeStrategy,
+    RelayDropStrategy,
+    ReplayStrategy,
+    SpuriousVetoStrategy,
+    WormholeStrategy,
+)
+
+__all__ = [
+    "AdaptiveStrategy",
+    "Adversary",
+    "ChokingFloodStrategy",
+    "DropMinimumStrategy",
+    "HideAndVetoStrategy",
+    "JunkMinimumStrategy",
+    "MaliciousNodeState",
+    "PassiveStrategy",
+    "PerNodeStrategy",
+    "PolicyStrategy",
+    "RelayDropStrategy",
+    "ReplayStrategy",
+    "SpuriousVetoStrategy",
+    "Strategy",
+    "WormholeStrategy",
+]

@@ -1,0 +1,57 @@
+"""Monte-Carlo drivers and statistics for the paper's evaluation (§IX).
+
+* :mod:`~repro.analysis.misrevocation` — Figure 7: average number of
+  honest sensors mis-revoked as a function of the threshold θ, for
+  n ∈ {1,000, 10,000} and f ∈ {1, 5, 10, 20}.
+* :mod:`~repro.analysis.approximation` — Figure 8: relative error of
+  COUNT-via-synopses (m = 100) across predicate-count values, with mean
+  and percentile series.
+* :mod:`~repro.analysis.stats` — percentile/mean helpers shared by the
+  drivers and the benchmark harness.
+"""
+
+from .approximation import ApproximationSeries, count_error_trials, figure8
+from .connectivity import (
+    ConnectivitySeries,
+    link_survival_probability,
+    revocation_sweep,
+)
+from .latency import (
+    ExecutionLatency,
+    ThetaLatencyPoint,
+    execution_latency,
+    session_latency,
+    theta_neutralization_sweep,
+)
+from .plotting import ascii_chart
+from .misrevocation import (
+    MisrevocationSeries,
+    expected_misrevocations,
+    figure7,
+    misrevocation_trials,
+    smallest_safe_theta,
+)
+from .stats import mean, percentile, summarize
+
+__all__ = [
+    "ApproximationSeries",
+    "ConnectivitySeries",
+    "ExecutionLatency",
+    "ThetaLatencyPoint",
+    "ascii_chart",
+    "MisrevocationSeries",
+    "count_error_trials",
+    "expected_misrevocations",
+    "figure7",
+    "figure8",
+    "link_survival_probability",
+    "revocation_sweep",
+    "mean",
+    "misrevocation_trials",
+    "percentile",
+    "smallest_safe_theta",
+    "execution_latency",
+    "session_latency",
+    "summarize",
+    "theta_neutralization_sweep",
+]

@@ -1,0 +1,124 @@
+"""Figure 8: approximation quality of COUNT via synopses (Section IX).
+
+The paper evaluates the COUNT→MIN conversion numerically: with m = 100
+synopses, for each predicate-count value, 200 trials measure the relative
+error of the estimator; the figure plots the average and percentile
+curves (an average relative error below 10% at m = 100).
+
+Two trial engines:
+
+* :func:`count_error_trials` — distributional: the minimum synopsis of
+  instance ``i`` over ``c`` contributors is exactly Exp(c), so trials
+  draw ``m`` exponentials directly.  This is the paper's "numerical
+  examples" methodology and scales to counts of 10,000 instantly.
+* :func:`protocol_count_trial` — end-to-end: runs the actual VMAT
+  protocol (PRF synopses, MACs, tree, SOF) on a simulated network and
+  feeds the resulting minima through the same estimator.  Used by tests
+  to confirm the deployed pipeline matches the distributional model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from .stats import percentile
+
+
+@dataclass
+class ApproximationSeries:
+    """One Figure-8 data set: relative errors per predicate-count value."""
+
+    num_synopses: int
+    trials: int
+    counts: Tuple[int, ...]
+    errors: Dict[int, List[float]] = field(default_factory=dict)
+
+    def average(self, count: int) -> float:
+        values = self.errors[count]
+        return math.fsum(values) / len(values)
+
+    def percentile(self, count: int, q: float) -> float:
+        return percentile(self.errors[count], q)
+
+    def rows(self, percentiles: Sequence[float] = (50, 90, 99)) -> List[Dict[str, float]]:
+        """Table rows matching the figure's series (average + percentiles)."""
+        rows = []
+        for count in self.counts:
+            row: Dict[str, float] = {"count": float(count), "average": self.average(count)}
+            for q in percentiles:
+                row[f"p{q:g}"] = self.percentile(count, q)
+            rows.append(row)
+        return rows
+
+
+def count_error_trials(
+    counts: Sequence[int],
+    num_synopses: int = 100,
+    trials: int = 200,
+    seed: int = 0,
+) -> ApproximationSeries:
+    """Distributional Figure-8 trials (the paper's methodology)."""
+    if num_synopses < 1 or trials < 1:
+        raise ConfigError("num_synopses and trials must be >= 1")
+    series = ApproximationSeries(
+        num_synopses=num_synopses,
+        trials=trials,
+        counts=tuple(int(c) for c in counts),
+    )
+    for count in series.counts:
+        if count < 1:
+            raise ConfigError("predicate counts must be >= 1")
+        rng = random.Random(("fig8", seed, num_synopses, count).__repr__())
+        errors = []
+        for _ in range(trials):
+            # min over `count` iid Exp(1) synopses is Exp(count).
+            total = math.fsum(rng.expovariate(count) for _ in range(num_synopses))
+            estimate = num_synopses / total
+            errors.append(abs(estimate - count) / count)
+        series.errors[count] = errors
+    return series
+
+
+def figure8(
+    counts: Sequence[int] = (10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000),
+    num_synopses: int = 100,
+    trials: int = 200,
+    seed: int = 0,
+) -> ApproximationSeries:
+    """The Figure-8 sweep with the paper's parameters."""
+    return count_error_trials(counts, num_synopses=num_synopses, trials=trials, seed=seed)
+
+
+def protocol_count_trial(
+    num_nodes: int,
+    predicate_count: int,
+    num_synopses: int,
+    seed: int,
+) -> Tuple[float, float]:
+    """One end-to-end COUNT query over the real protocol stack.
+
+    Deploys a geometric network, marks ``predicate_count`` sensors as
+    satisfying the predicate, runs a full VMAT execution, and returns
+    ``(estimate, relative_error)``.
+    """
+    from .. import CountQuery, VMATProtocol, build_deployment
+
+    if predicate_count > num_nodes - 1:
+        raise ConfigError("predicate_count exceeds the sensor population")
+    deployment = build_deployment(num_nodes=num_nodes, seed=seed)
+    rng = random.Random(("fig8-proto", seed).__repr__())
+    satisfied = set(rng.sample(deployment.topology.sensor_ids, predicate_count))
+    readings = {
+        i: 1.0 if i in satisfied else 0.0 for i in deployment.topology.sensor_ids
+    }
+    query = CountQuery(predicate=lambda reading: reading > 0.5, num_synopses=num_synopses)
+    protocol = VMATProtocol(deployment.network)
+    result = protocol.execute(query, readings)
+    if not result.produced_result or result.estimate is None:
+        raise ConfigError("honest execution failed to produce a result")
+    error = abs(result.estimate - predicate_count) / predicate_count
+    return result.estimate, error

@@ -1,0 +1,136 @@
+"""Wall-clock latency analysis: what revocation costs in seconds.
+
+The paper prices everything in flooding rounds; a deployment planner
+wants seconds.  Combining the round counts measured on the simulator
+with the interval structure of :mod:`repro.sim.timeline` gives the
+missing conversion — and exposes the *other* axis of the θ trade-off:
+Figure 7 shows small θ risks framing honest sensors, while this module
+shows large θ pays in time-under-attack (more slow-drip executions
+before the ring-seed announcement ends it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ClockConfig
+from ..errors import ConfigError
+from ..sim.timeline import execution_latency_seconds, plan_execution
+
+
+@dataclass(frozen=True)
+class ExecutionLatency:
+    """Seconds spent by one execution, split by cause."""
+
+    happy_path_seconds: float
+    pinpointing_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.happy_path_seconds + self.pinpointing_seconds
+
+
+def execution_latency(result, depth_bound: int, clock: ClockConfig) -> ExecutionLatency:
+    """Latency of one :class:`~repro.core.protocol.ExecutionResult`."""
+    happy = plan_execution(depth_bound, clock).total_duration
+    tests = result.pinpoint.tests_run if result.pinpoint is not None else 0
+    pinpointing = tests * 2 * depth_bound * clock.interval_length
+    return ExecutionLatency(happy_path_seconds=happy, pinpointing_seconds=pinpointing)
+
+
+def session_latency(session, depth_bound: int, clock: ClockConfig) -> ExecutionLatency:
+    """Total latency of a repeated-execution session."""
+    happy = 0.0
+    pinpointing = 0.0
+    for result in session.executions:
+        latency = execution_latency(result, depth_bound, clock)
+        happy += latency.happy_path_seconds
+        pinpointing += latency.pinpointing_seconds
+    return ExecutionLatency(happy_path_seconds=happy, pinpointing_seconds=pinpointing)
+
+
+@dataclass
+class ThetaLatencyPoint:
+    """Cost of neutralizing one persistent attacker at a given θ."""
+
+    theta: int
+    executions: int
+    predicate_tests: int
+    seconds: float
+    attacker_fully_revoked: bool
+    honest_collateral: int
+
+
+def theta_neutralization_sweep(
+    thetas: Sequence[int],
+    num_spokes: int = 14,
+    depth_bound: int = 4,
+    clock: Optional[ClockConfig] = None,
+    seed: int = 11,
+    max_executions: int = 300,
+) -> List[ThetaLatencyPoint]:
+    """Time-to-neutralize a persistent dropping hub, per θ.
+
+    Same hub scenario as the revocation ablation: a malicious hub
+    between the base station and ``num_spokes`` honest leaves, attacked
+    paths rotating so exposures spread.  For each θ the session runs
+    until the attacks stop producing revocations, and the point records
+    how long that took in protocol seconds.
+    """
+    from dataclasses import replace
+
+    from .. import MinQuery, VMATProtocol, build_deployment, small_test_config
+    from ..adversary import Adversary, DropMinimumStrategy
+    from ..config import RevocationConfig
+    from ..topology import Topology
+
+    clock = clock or ClockConfig()
+    points: List[ThetaLatencyPoint] = []
+    for theta in thetas:
+        if theta < 1:
+            raise ConfigError("theta values must be >= 1")
+        edges = [(0, 1)] + [(1, spoke) for spoke in range(2, num_spokes + 2)]
+        config = replace(
+            small_test_config(depth_bound=depth_bound),
+            revocation=RevocationConfig(theta=theta),
+        )
+        deployment = build_deployment(
+            config=config,
+            topology=Topology(num_spokes + 2, edges),
+            malicious_ids={1},
+            seed=seed,
+        )
+        adversary = Adversary(
+            deployment.network, DropMinimumStrategy(predtest="deny"), seed=seed
+        )
+        protocol = VMATProtocol(deployment.network, adversary=adversary)
+
+        spokes = [i for i in deployment.topology.sensor_ids if i != 1]
+        executions = 0
+        tests = 0
+        seconds = 0.0
+        for round_index in range(max_executions):
+            target = spokes[round_index % len(spokes)]
+            readings = {i: 100.0 + i for i in deployment.topology.sensor_ids}
+            readings[target] = 1.0
+            result = protocol.execute(MinQuery(), readings)
+            executions += 1
+            tests += result.pinpoint.tests_run if result.pinpoint else 0
+            seconds += execution_latency(result, depth_bound, clock).total_seconds
+            if result.produced_result:
+                break
+        honest_collateral = sum(
+            1 for s in deployment.registry.revoked_sensors if s != 1
+        )
+        points.append(
+            ThetaLatencyPoint(
+                theta=theta,
+                executions=executions,
+                predicate_tests=tests,
+                seconds=seconds,
+                attacker_fully_revoked=1 in deployment.registry.revoked_sensors,
+                honest_collateral=honest_collateral,
+            )
+        )
+    return points

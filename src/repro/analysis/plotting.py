@@ -1,0 +1,116 @@
+"""Terminal plotting: render experiment curves as ASCII charts.
+
+The paper presents Figures 7 and 8 graphically; ``python -m repro fig7
+--plot`` (etc.) renders the same curves in the terminal so the shape —
+the cliffs, the flats, the orderings — is visible without leaving the
+shell.  Deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more ``label -> [(x, y), ...]`` series.
+
+    Points are scattered onto a character grid with one marker per
+    series and a legend below.  Log scales drop non-positive points
+    (with a note) rather than raising.
+    """
+    if not series:
+        raise ConfigError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ConfigError("chart too small to be readable")
+
+    def tx(v: float) -> Optional[float]:
+        if log_x:
+            return math.log10(v) if v > 0 else None
+        return v
+
+    def ty(v: float) -> Optional[float]:
+        if log_y:
+            return math.log10(v) if v > 0 else None
+        return v
+
+    points: Dict[str, List[Tuple[float, float]]] = {}
+    dropped = 0
+    for label, raw in series.items():
+        kept = []
+        for x, y in raw:
+            gx, gy = tx(float(x)), ty(float(y))
+            if gx is None or gy is None:
+                dropped += 1
+                continue
+            kept.append((gx, gy))
+        points[label] = kept
+    everything = [p for kept in points.values() for p in kept]
+    if not everything:
+        raise ConfigError("no plottable points (log scale with non-positive data?)")
+
+    x_low = min(p[0] for p in everything)
+    x_high = max(p[0] for p in everything)
+    y_low = min(p[1] for p in everything)
+    y_high = max(p[1] for p in everything)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, kept) in enumerate(points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in kept:
+            col = round((x - x_low) / (x_high - x_low) * (width - 1))
+            row = round((y - y_low) / (y_high - y_low) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    def fmt_axis(value: float, log: bool) -> str:
+        shown = 10**value if log else value
+        return f"{shown:.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = fmt_axis(y_high, log_y)
+    bottom_label = fmt_axis(y_low, log_y)
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    x_axis = " " * margin + "+" + "-" * width
+    lines.append(x_axis)
+    left = fmt_axis(x_low, log_x)
+    right = fmt_axis(x_high, log_x)
+    gap = width - len(left) - len(right)
+    lines.append(" " * (margin + 1) + left + " " * max(1, gap) + right)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, label in enumerate(points)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    if dropped:
+        lines.append(f"({dropped} non-positive point(s) dropped by the log scale)")
+    return "\n".join(lines)

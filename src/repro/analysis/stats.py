@@ -1,0 +1,55 @@
+"""Small, dependency-light statistics helpers.
+
+Numpy is available in the environment, but these helpers are also used
+from property-based tests on tiny inputs where plain Python is clearer;
+they follow the "x percentile" convention of Figure 8 (the value below
+which x% of trials fall, linear interpolation between order statistics).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean via ``math.fsum`` (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return math.fsum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0 <= q <= 100), linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summarize(values: Sequence[float], percentiles: Sequence[float] = (50, 90, 95, 99)) -> Dict[str, float]:
+    """Mean plus the requested percentiles, keyed for table printing."""
+    summary = {"mean": mean(values)}
+    for q in percentiles:
+        summary[f"p{q:g}"] = percentile(values, q)
+    return summary
+
+
+def standard_error(values: Sequence[float]) -> float:
+    """Standard error of the mean (sample standard deviation / sqrt n)."""
+    n = len(values)
+    if n < 2:
+        raise ValueError("standard error needs at least two samples")
+    m = mean(values)
+    variance = math.fsum((v - m) ** 2 for v in values) / (n - 1)
+    return math.sqrt(variance / n)

@@ -1,0 +1,36 @@
+"""Baselines VMAT is compared against (Sections I, II, IX).
+
+* :mod:`~repro.baselines.naive` — collect-all: every sensor's MAC'd
+  reading is forwarded hop-by-hop to the base station.  The Section IX
+  communication comparison (~80 KB vs VMAT's ~2.4 KB at n = 10,000).
+* :mod:`~repro.baselines.alarm_only` — a SHIA-style scheme that detects
+  a corrupted result but cannot pinpoint: a single persistent malicious
+  sensor stalls it forever (the motivating failure of Section I).
+* :mod:`~repro.baselines.unverified_flooding` — a [23]-style scheme
+  whose relays cannot verify vetoes and must forward everything; the
+  choking-attack victim that motivates SOF.
+* :mod:`~repro.baselines.set_sampling` — a cost model for Yu's
+  sampling-based alternative [29]: tolerates malicious sensors without
+  revocation but needs Ω(log n) sequential flooding rounds per query
+  (documented substitution; see DESIGN.md §4).
+"""
+
+from .alarm_only import AlarmOnlyProtocol, AlarmOutcome, AlarmResult
+from .insecure_tag import TagResult, run_insecure_tag_min
+from .naive import NaiveCollectionCost, naive_collection_cost, vmat_query_cost
+from .set_sampling import SetSamplingCostModel
+from .unverified_flooding import UnverifiedFloodingResult, run_unverified_confirmation
+
+__all__ = [
+    "AlarmOnlyProtocol",
+    "AlarmOutcome",
+    "AlarmResult",
+    "NaiveCollectionCost",
+    "SetSamplingCostModel",
+    "TagResult",
+    "run_insecure_tag_min",
+    "UnverifiedFloodingResult",
+    "naive_collection_cost",
+    "run_unverified_confirmation",
+    "vmat_query_cost",
+]

@@ -1,0 +1,97 @@
+"""Insecure TAG aggregation [15] — the no-security cost floor.
+
+TAG is the classic in-network aggregation service VMAT hardens: a
+hop-count tree and a single convergecast of partial aggregates, with no
+MACs, no confirmation phase and no audit state.  It answers MIN in 2
+flooding rounds and a handful of bytes — and a single malicious sensor
+can silently set the answer to anything.
+
+This baseline exists to price VMAT's *security overhead* (extra rounds,
+extra bytes, extra state) against the undefended floor, and to
+demonstrate the corruption TAG cannot even detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..keys.registry import BASE_STATION_ID
+from ..net.message import ReadingMessage, SynopsisBundle
+from ..net.network import Network
+
+
+@dataclass
+class TagResult:
+    """What insecure TAG reports — taken entirely on faith."""
+
+    minimum: Optional[float]
+    flooding_rounds: float
+    total_bytes: int
+
+    @property
+    def answered(self) -> bool:
+        return self.minimum is not None
+
+
+def run_insecure_tag_min(
+    network: Network,
+    adversary,
+    depth_bound: int,
+    readings: Dict[int, float],
+) -> TagResult:
+    """One TAG MIN query: hop-count tree + unverified convergecast.
+
+    Malicious sensors participate through the same adversary hooks as in
+    VMAT (a dropper drops, a junk injector injects) — but here nothing
+    checks anything: whatever reaches the base station *is* the answer.
+    """
+    from ..core.aggregation import run_aggregation
+    from ..core.tree import form_tree
+
+    bytes_before = network.metrics.total_bytes()
+    rounds_before = network.metrics.flooding_rounds
+
+    # Honest sensors still frame readings as messages; the MACs carry no
+    # weight because nothing verifies them (accept-everything callback).
+    nonce = b"insecure-tag"
+    own = {}
+    revoked = network.registry.revoked_sensors
+    for node_id, node in network.nodes.items():
+        if node_id in revoked:
+            continue
+        node.begin_execution(reading=float(readings.get(node_id, 0.0)))
+        node.query_values = [node.reading]
+        own[node_id] = [
+            ReadingMessage(sensor_id=node_id, value=node.reading, mac=b"\x00" * 8)
+        ]
+
+    if adversary is not None:
+        malicious = network.malicious_ids
+        mal_readings = {i: float(readings.get(i, 0.0)) for i in malicious}
+        adversary.begin_execution(
+            mal_readings,
+            {i: [mal_readings[i]] for i in malicious},
+            {
+                i: [ReadingMessage(sensor_id=i, value=mal_readings[i], mac=b"\x00" * 8)]
+                for i in malicious
+            },
+        )
+
+    form_tree(network, adversary, depth_bound, variant="hopcount")
+    agg = run_aggregation(
+        network,
+        adversary,
+        depth_bound,
+        nonce,
+        own,
+        num_instances=1,
+        verify_minimum=lambda instance, message: True,  # TAG verifies nothing
+    )
+    minima = agg.minimum_values()
+    minimum = minima[0] if minima and minima[0] != float("inf") else None
+    return TagResult(
+        minimum=minimum,
+        flooding_rounds=network.metrics.flooding_rounds - rounds_before,
+        total_bytes=network.metrics.total_bytes() - bytes_before,
+    )

@@ -1,0 +1,49 @@
+"""Cost model for the set-sampling alternative (Yu [29], Section I).
+
+Yu's IPSN 2009 protocol answers aggregation queries by *sampling* instead
+of in-network aggregation: it tolerates malicious sensors outright (no
+pinpointing needed) at the price of ``Omega(log n)`` **sequential**
+flooding rounds per query, versus VMAT's O(1) rounds on the happy path.
+
+The paper compares against [29] only on this asymptotic axis, so —
+as documented in DESIGN.md §4 — we model the cost rather than re-
+implement a different paper's protocol.  The constants below follow the
+structure of [29]: each of the ``~log2(n)`` size-estimation levels costs
+a challenge flood plus a response flood, and the whole schedule repeats
+``repetitions`` times to drive the failure probability down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SetSamplingCostModel:
+    """Flooding-round / latency model for one set-sampling query."""
+
+    rounds_per_level: int = 2  # challenge flood + response flood
+    repetitions: int = 3  # amplification runs
+
+    def __post_init__(self) -> None:
+        if self.rounds_per_level < 1 or self.repetitions < 1:
+            raise ConfigError("cost model parameters must be >= 1")
+
+    def levels(self, num_sensors: int) -> int:
+        """Sequential set-size levels: ``ceil(log2 n)``."""
+        if num_sensors < 1:
+            raise ConfigError("need at least one sensor")
+        return max(1, math.ceil(math.log2(num_sensors)))
+
+    def flooding_rounds(self, num_sensors: int) -> int:
+        """Total sequential flooding rounds for one query."""
+        return self.levels(num_sensors) * self.rounds_per_level * self.repetitions
+
+    def latency_ratio_vs_vmat(self, num_sensors: int, vmat_rounds: float) -> float:
+        """How many times slower than a VMAT happy-path execution."""
+        if vmat_rounds <= 0:
+            raise ConfigError("vmat_rounds must be positive")
+        return self.flooding_rounds(num_sensors) / vmat_rounds

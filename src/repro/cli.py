@@ -1,0 +1,380 @@
+"""Command-line interface: regenerate the paper's numbers from a shell.
+
+::
+
+    python -m repro fig7   [--sizes 1000 10000] [--trials 100]
+    python -m repro fig8   [--synopses 100] [--trials 200]
+    python -m repro comm
+    python -m repro rounds [--sizes 50 100 200 400]
+    python -m repro connectivity
+    python -m repro demo   [--attack drop|junk|spurious-veto|hide]
+                           [--nodes 40] [--seed 7]
+
+Every subcommand prints the same rows/series the corresponding benchmark
+asserts on (see DESIGN.md §3 for the experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _print_table(title: str, header: Sequence[str], rows) -> None:
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        print("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    from .analysis import misrevocation_trials
+    from .config import KeyConfig
+
+    thetas = tuple(range(1, args.theta_max + 1))
+    for n in args.sizes:
+        series_by_f = {
+            f: misrevocation_trials(
+                n, f, thetas, trials=args.trials, key_config=KeyConfig(), seed=args.seed
+            )
+            for f in args.malicious
+        }
+        sampled = [t for t in (1, 3, 5, 7, 10, 15, 20, 25, 27, 30, 35, 40) if t <= args.theta_max]
+        _print_table(
+            f"Figure 7 (n={n}): avg # honest sensors mis-revoked",
+            ["theta"] + [f"f={f}" for f in args.malicious],
+            [[t] + [series_by_f[f].avg_misrevoked[t] for f in args.malicious] for t in sampled],
+        )
+        for f in args.malicious:
+            safe = series_by_f[f].smallest_theta_below(1.0)
+            print(f"  f={f}: smallest theta with avg mis-revocations < 1: {safe}")
+        if args.plot:
+            from .analysis import ascii_chart
+
+            print()
+            print(ascii_chart(
+                {
+                    f"f={f}": [
+                        (t, series_by_f[f].avg_misrevoked[t] + 0.01) for t in thetas
+                    ]
+                    for f in args.malicious
+                },
+                title=f"Figure 7 (n={n}): avg mis-revoked vs theta (log y, +0.01)",
+                log_y=True,
+                x_label="theta",
+                y_label="mis-revoked",
+            ))
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    from .analysis import figure8
+
+    series = figure8(
+        counts=tuple(args.counts),
+        num_synopses=args.synopses,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    _print_table(
+        f"Figure 8: relative error of COUNT, m={args.synopses}, {args.trials} trials",
+        ["count", "average", "p50", "p90", "p99"],
+        [
+            [c, series.average(c), series.percentile(c, 50),
+             series.percentile(c, 90), series.percentile(c, 99)]
+            for c in series.counts
+        ],
+    )
+    if args.plot:
+        from .analysis import ascii_chart
+
+        print()
+        print(ascii_chart(
+            {
+                "average": [(c, series.average(c)) for c in series.counts],
+                "p90": [(c, series.percentile(c, 90)) for c in series.counts],
+                "p99": [(c, series.percentile(c, 99)) for c in series.counts],
+            },
+            title="Figure 8: relative error vs predicate count (log x)",
+            log_x=True,
+            x_label="predicate count",
+            y_label="rel error",
+        ))
+    return 0
+
+
+def cmd_comm(args: argparse.Namespace) -> int:
+    from .baselines import vmat_query_cost
+    from .baselines.naive import NAIVE_REPORT_BYTES
+    from .config import ProtocolConfig
+
+    protocol = ProtocolConfig(num_synopses=args.synopses)
+    vmat = vmat_query_cost(protocol)
+    naive = args.nodes * NAIVE_REPORT_BYTES
+    _print_table(
+        f"Section IX communication comparison at n = {args.nodes}",
+        ["scheme", "bottleneck bytes", "vs VMAT"],
+        [
+            [f"VMAT ({args.synopses} synopses)", vmat, 1.0],
+            ["naive collect-all", naive, naive / vmat],
+        ],
+    )
+    return 0
+
+
+def cmd_rounds(args: argparse.Namespace) -> int:
+    from . import MinQuery, VMATProtocol, build_deployment, small_test_config
+    from .baselines import SetSamplingCostModel
+    from .topology import random_geometric_topology
+    from .topology.generators import recommended_radius
+
+    model = SetSamplingCostModel()
+    rows = []
+    for n in args.sizes:
+        topology = random_geometric_topology(n, recommended_radius(n), seed=args.seed)
+        deployment = build_deployment(
+            config=small_test_config(depth_bound=12), topology=topology, seed=args.seed
+        )
+        protocol = VMATProtocol(deployment.network)
+        readings = {i: 10.0 + (i % 9) for i in topology.sensor_ids}
+        result = protocol.execute(MinQuery(), readings)
+        rows.append([n, result.flooding_rounds, model.flooding_rounds(n)])
+    _print_table(
+        "Flooding rounds per query: VMAT (O(1)) vs set-sampling [29] (Omega(log n))",
+        ["n", "VMAT", "set-sampling"],
+        rows,
+    )
+    return 0
+
+
+def cmd_connectivity(args: argparse.Namespace) -> int:
+    from .analysis import link_survival_probability, revocation_sweep
+    from .config import ExperimentConfig, KeyConfig, ProtocolConfig
+
+    keys = KeyConfig(pool_size=1_000, ring_size=60)
+    config = ExperimentConfig(keys=keys, protocol=ProtocolConfig(depth_bound=12))
+    fractions = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99)
+    series = revocation_sweep(args.nodes, fractions, config=config, trials=2, seed=args.seed)
+    _print_table(
+        "Secure connectivity vs fraction of the key pool revoked",
+        ["pool revoked", "connected share", "link survival (paper keys)"],
+        [
+            [phi, series.connected_share[phi], link_survival_probability(KeyConfig(), phi)]
+            for phi in fractions
+        ],
+    )
+    if args.plot:
+        from .analysis import ascii_chart
+
+        print()
+        print(ascii_chart(
+            {
+                "connected": [(phi, series.connected_share[phi]) for phi in fractions],
+                "link surv.": [
+                    (phi, link_survival_probability(KeyConfig(), phi))
+                    for phi in fractions
+                ],
+            },
+            title="Connectivity collapse under mass revocation",
+            x_label="fraction of pool revoked",
+            y_label="share",
+        ))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Generate a reduced-scale markdown reproduction report."""
+    from io import StringIO
+
+    from . import MinQuery, VMATProtocol, build_deployment, small_test_config
+    from .adversary import Adversary, DropMinimumStrategy
+    from .analysis import figure8, misrevocation_trials
+    from .baselines import AlarmOnlyProtocol, SetSamplingCostModel, vmat_query_cost
+    from .baselines.naive import NAIVE_REPORT_BYTES
+    from .config import KeyConfig, ProtocolConfig
+    from .topology import grid_topology
+
+    out = StringIO()
+    out.write("# VMAT reproduction report (reduced scale)\n\n")
+    out.write(f"trials: fig7={args.trials}, fig8={args.trials * 2}\n\n")
+
+    out.write("## Figure 7 — mis-revocation vs theta\n\n")
+    out.write("| n | f | smallest safe theta (avg < 1) |\n|---|---|---|\n")
+    for n in (1_000, 10_000):
+        for f in (1, 20):
+            series = misrevocation_trials(
+                n, f, range(1, 41), trials=args.trials, key_config=KeyConfig(),
+                seed=args.seed,
+            )
+            out.write(f"| {n} | {f} | {series.smallest_theta_below(1.0)} |\n")
+    out.write("\npaper: theta ~ 7 at f=1, theta = 27 at f=20/n=10k\n\n")
+
+    out.write("## Figure 8 — COUNT approximation error (m=100)\n\n")
+    series = figure8(
+        counts=(10, 100, 1_000, 10_000), trials=args.trials * 2, seed=args.seed
+    )
+    out.write("| count | average | p90 |\n|---|---|---|\n")
+    for count in series.counts:
+        out.write(
+            f"| {count} | {series.average(count):.3f} | "
+            f"{series.percentile(count, 90):.3f} |\n"
+        )
+    out.write("\npaper: average below 10%\n\n")
+
+    out.write("## Communication (Section IX)\n\n")
+    vmat_bytes = vmat_query_cost(ProtocolConfig())
+    naive = 10_000 * NAIVE_REPORT_BYTES
+    out.write(
+        f"VMAT: {vmat_bytes} B; naive at n=10,000: {naive} B "
+        f"({naive / vmat_bytes:.0f}x)\n\n"
+    )
+
+    out.write("## Liveness (Theorem 7 vs alarm-only)\n\n")
+    dep = build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(4, 4),
+        malicious_ids={11, 14},
+        seed=args.seed,
+    )
+    adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=args.seed)
+    alarm = AlarmOnlyProtocol(dep.network, adversary=adv)
+    readings = {i: 50.0 + i for i in dep.topology.sensor_ids}
+    readings[15] = 2.0
+    alarm_session = alarm.run_session(MinQuery(), readings, max_executions=10)
+    dep = build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(4, 4),
+        malicious_ids={11, 14},
+        seed=args.seed,
+    )
+    adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=args.seed)
+    vmat = VMATProtocol(dep.network, adversary=adv)
+    vmat_session = vmat.run_session(MinQuery(), readings, max_executions=300)
+    out.write(
+        f"alarm-only: {'stalled' if alarm_session.stalled else 'answered'} "
+        f"after {len(alarm_session.executions)} tries; "
+        f"VMAT answered after {vmat_session.executions_until_result} executions "
+        f"({vmat_session.total_revocations} revocation events)\n\n"
+    )
+
+    model = SetSamplingCostModel()
+    out.write("## Rounds\n\n")
+    out.write(
+        f"VMAT happy path: 5 flooding rounds (constant); "
+        f"set-sampling [29] at n=10,000: {model.flooding_rounds(10_000)}\n"
+    )
+
+    text = out.getvalue()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_ATTACKS = {
+    "drop": ("DropMinimumStrategy", dict(predtest="deny")),
+    "junk": ("JunkMinimumStrategy", {}),
+    "spurious-veto": ("SpuriousVetoStrategy", {}),
+    "hide": ("HideAndVetoStrategy", {}),
+}
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from . import MinQuery, VMATProtocol, build_deployment
+    from . import adversary as adversary_module
+
+    deployment = build_deployment(
+        num_nodes=args.nodes, seed=args.seed, malicious_ids=set(args.compromised)
+    )
+    strategy_name, kwargs = _ATTACKS[args.attack]
+    strategy = getattr(adversary_module, strategy_name)(**kwargs)
+    adversary = adversary_module.Adversary(deployment.network, strategy, seed=args.seed)
+    protocol = VMATProtocol(deployment.network, adversary=adversary)
+    readings = {i: 100.0 + i for i in deployment.topology.sensor_ids}
+    readings[max(deployment.topology.sensor_ids)] = 1.0
+
+    session = protocol.run_session(MinQuery(), readings, max_executions=300)
+    print(f"attack: {args.attack}, compromised: {sorted(args.compromised)}")
+    for index, execution in enumerate(session.executions, start=1):
+        if execution.produced_result:
+            print(f"execution {index}: MIN = {execution.estimate}")
+        else:
+            print(
+                f"execution {index}: {execution.outcome.value} -> "
+                f"{len(execution.revocations)} revocation event(s)"
+            )
+    print(f"revoked sensors: {sorted(deployment.registry.revoked_sensors)}")
+    print(f"revoked keys: {len(deployment.registry.revoked_keys)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VMAT (ICDCS 2011) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig7", help="Figure 7: mis-revocation vs theta")
+    p.add_argument("--sizes", type=int, nargs="+", default=[1_000, 10_000])
+    p.add_argument("--malicious", type=int, nargs="+", default=[1, 5, 10, 20])
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--theta-max", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("fig8", help="Figure 8: COUNT approximation error")
+    p.add_argument("--counts", type=int, nargs="+",
+                   default=[10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000])
+    p.add_argument("--synopses", type=int, default=100)
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("comm", help="Section IX byte comparison")
+    p.add_argument("--nodes", type=int, default=10_000)
+    p.add_argument("--synopses", type=int, default=100)
+    p.set_defaults(func=cmd_comm)
+
+    p = sub.add_parser("rounds", help="flooding rounds vs network size")
+    p.add_argument("--sizes", type=int, nargs="+", default=[50, 100, 200, 400])
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_rounds)
+
+    p = sub.add_parser("connectivity", help="mass-revocation collapse")
+    p.add_argument("--nodes", type=int, default=120)
+    p.add_argument("--seed", type=int, default=5)
+    p.add_argument("--plot", action="store_true", help="render an ASCII chart")
+    p.set_defaults(func=cmd_connectivity)
+
+    p = sub.add_parser("report", help="markdown reproduction report (reduced scale)")
+    p.add_argument("--trials", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", type=str, default=None)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("demo", help="attacked session walkthrough")
+    p.add_argument("--attack", choices=sorted(_ATTACKS), default="drop")
+    p.add_argument("--nodes", type=int, default=40)
+    p.add_argument("--compromised", type=int, nargs="+", default=[5])
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""VMAT: the paper's primary contribution.
+
+Modules map one-to-one onto the paper's sections:
+
+* :mod:`~repro.core.tree` — timestamp-based tree formation (§IV-A), the
+  naive hop-count variant it replaces, and multi-path rings (§IV-D).
+* :mod:`~repro.core.aggregation` — the MIN aggregation phase with
+  distributed audit tuples (§IV-B).
+* :mod:`~repro.core.confirmation` — the confirmation phase and the
+  Slotted One-time Flooding with Audit Trail protocol (§IV-C).
+* :mod:`~repro.core.audit` — well-formed audit trail definitions and
+  validators (§V).
+* :mod:`~repro.core.predicate_test` — the keyed predicate test (§VI-A,
+  from Yu [29]).
+* :mod:`~repro.core.pinpoint` — veto-triggered (Figures 4-6) and
+  junk-triggered (§VI-B) pinpointing/revocation.
+* :mod:`~repro.core.synopses` — COUNT/SUM/AVG → MIN via exponential
+  synopses (§VIII, from Mosk-Aoyama & Shah [17]).
+* :mod:`~repro.core.queries` — query types and (ε, δ)-approximation
+  sizing.
+* :mod:`~repro.core.protocol` — the full driver of Figure 1 plus the
+  repeated-execution session loop behind Theorem 7.
+"""
+
+from .protocol import ExecutionOutcome, ExecutionResult, VMATProtocol
+from .queries import (
+    AverageQuery,
+    CountQuery,
+    MaxQuery,
+    MinQuery,
+    SumQuery,
+    required_synopses,
+)
+
+__all__ = [
+    "AverageQuery",
+    "CountQuery",
+    "ExecutionOutcome",
+    "ExecutionResult",
+    "MaxQuery",
+    "MinQuery",
+    "SumQuery",
+    "VMATProtocol",
+    "required_synopses",
+]

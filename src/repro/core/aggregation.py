@@ -1,0 +1,202 @@
+"""The MIN aggregation phase with distributed audit trail (Section IV-B).
+
+Timing discipline (all derived from the timestamp tree):
+
+* a sensor at level ``i`` *listens* for child bundles only during
+  interval ``L - i`` (a level ``i+1`` child transmits in interval
+  ``L - (i+1) + 1 = L - i``);
+* it transmits its own bundle — the per-instance minimum over its own
+  messages and every verified receipt — during interval ``L - i + 1``;
+* the base station (level 0) listens during interval ``L``.
+
+Accepting child messages *only in the expected interval* is what makes
+the recorded audit receipts line up with the level arithmetic of the
+pinpointing predicates: an honest sensor's receipt at interval
+``L - l + 1`` is, by construction, a receipt "from a child at level
+``l``", no matter what level the actual transmitter claims.
+
+Every forwarded message is recorded as
+``<level, message, sensor key, in-edge key, out-edge key>`` split across
+send/receipt records (Section IV-B's audit tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..keys.registry import BASE_STATION_ID
+from ..net.message import ReadingMessage, SynopsisBundle
+from ..net.network import Delivery, Network
+from ..net.node import AggReceiptRecord, AggSendRecord
+from .contexts import AggregationContext
+
+
+@dataclass
+class AggregationResult:
+    """What the base station learned from one aggregation phase."""
+
+    nonce: bytes
+    num_instances: int
+    # Per instance: the minimum message received (None when nothing arrived).
+    minima: List[Optional[ReadingMessage]] = field(default_factory=list)
+    # Delivery that carried each instance's minimum (for junk tracking).
+    carrying_delivery: List[Optional[Delivery]] = field(default_factory=list)
+    # First instance whose minimum fails verification, with its delivery.
+    junk: Optional[Tuple[int, ReadingMessage, Delivery]] = None
+
+    def minimum_values(self) -> List[float]:
+        """Per-instance minima as floats; +inf where nothing arrived."""
+        return [m.value if m is not None else float("inf") for m in self.minima]
+
+
+def run_aggregation(
+    network: Network,
+    adversary,
+    depth_bound: int,
+    nonce: bytes,
+    own_messages: Dict[int, List[ReadingMessage]],
+    num_instances: int,
+    verify_minimum: Callable[[int, ReadingMessage], bool],
+) -> AggregationResult:
+    """Run one aggregation phase.
+
+    ``own_messages`` maps each honest sensor id to its per-instance
+    messages, already MAC'd under its sensor key by the driver.
+    ``verify_minimum(instance, message)`` is the base station's check on
+    a candidate minimum: sensor-key MAC plus (for synopsis queries) that
+    the value corresponds to *some* legal reading (Section VIII).
+    """
+    L = depth_bound
+    phase = network.new_phase("aggregation", L)
+    ctx = AggregationContext(
+        network=network,
+        phase=phase,
+        depth_bound=L,
+        nonce=nonce,
+        num_instances=num_instances,
+    )
+
+    revoked = network.registry.revoked_sensors
+    participants = [
+        i for i, node in network.nodes.items()
+        if i not in revoked and node.has_valid_level(L)
+    ]
+    # Sensors grouped by the interval in which they transmit.
+    send_slot: Dict[int, List[int]] = {}
+    for node_id in participants:
+        level = network.nodes[node_id].level
+        send_slot.setdefault(L - level + 1, []).append(node_id)
+
+    # Best message seen so far per (node, instance); starts as own reading.
+    best: Dict[int, List[ReadingMessage]] = {}
+    for node_id in participants:
+        messages = own_messages.get(node_id)
+        if messages is None or len(messages) != num_instances:
+            raise ProtocolError(f"sensor {node_id} is missing its own messages")
+        best[node_id] = list(messages)
+
+    bs_deliveries: List[Delivery] = []
+
+    for k in phase.intervals():
+        # Malicious sensors act first within the interval so injected
+        # frames land in the same slot honest listeners are reading.
+        if adversary is not None:
+            for node_id in sorted(network.malicious_ids):
+                adversary.agg_interval(ctx, node_id, k)
+
+        # Honest sensors whose slot this is: transmit to parents.
+        for node_id in sorted(send_slot.get(k, ())):
+            _honest_transmit(network, phase, node_id, best[node_id], k)
+
+        # Honest sensors listening this interval: fold verified receipts.
+        # A sensor at level i listens in interval L - i, i.e. level L - k.
+        listening_level = L - k
+        if listening_level >= 1:
+            for node_id in participants:
+                node = network.nodes[node_id]
+                if node.level != listening_level:
+                    continue
+                _honest_collect(network, phase, node, best[node_id], k, num_instances)
+
+        # Base station listens in interval L.
+        if k == L:
+            bs_deliveries = phase.verified_inbox(BASE_STATION_ID, L)
+
+    network.metrics.record_flooding_rounds(1.0, "aggregation-phase")
+    return _base_station_decide(bs_deliveries, nonce, num_instances, verify_minimum)
+
+
+def _honest_transmit(network, phase, node_id, messages, interval) -> None:
+    node = network.nodes[node_id]
+    bundle = SynopsisBundle(messages=tuple(messages))
+    parents = [p for p in node.parents if network.registry.link_usable(node_id, p)]
+    if not parents:
+        return  # all links to parents were revoked since tree formation
+    sent = phase.send(node_id, parents, bundle, interval=interval)
+    if not sent:
+        raise ProtocolError(
+            f"honest sensor {node_id} exceeded capacity in aggregation; "
+            "honest senders transmit exactly one bundle"
+        )
+    for parent in parents:
+        out_index = network.registry.edge_key_index(node_id, parent)
+        if out_index is None:
+            continue
+        for message in messages:
+            node.audit.agg_sends.append(
+                AggSendRecord(
+                    level=node.level, message=message, out_edge_index=out_index, to=parent
+                )
+            )
+
+
+def _honest_collect(network, phase, node, best, interval, num_instances) -> None:
+    for delivery in phase.verified_inbox(node.node_id, interval):
+        if not isinstance(delivery.payload, SynopsisBundle):
+            continue
+        for message in delivery.payload.messages:
+            if not 0 <= message.instance < num_instances:
+                continue
+            node.audit.agg_receipts.append(
+                AggReceiptRecord(
+                    interval=interval,
+                    message=message,
+                    in_edge_index=delivery.key_index,
+                    frm=delivery.sender,
+                )
+            )
+            if message < best[message.instance]:
+                best[message.instance] = message
+
+
+def _base_station_decide(
+    bs_deliveries: List[Delivery],
+    nonce: bytes,
+    num_instances: int,
+    verify_minimum: Callable[[int, ReadingMessage], bool],
+) -> AggregationResult:
+    """Pick per-instance minima and detect spurious ones (Figure 1, step 4)."""
+    result = AggregationResult(nonce=nonce, num_instances=num_instances)
+    candidates: List[List[Tuple[ReadingMessage, Delivery]]] = [
+        [] for _ in range(num_instances)
+    ]
+    for delivery in bs_deliveries:
+        if not isinstance(delivery.payload, SynopsisBundle):
+            continue
+        for message in delivery.payload.messages:
+            if 0 <= message.instance < num_instances:
+                candidates[message.instance].append((message, delivery))
+
+    for instance in range(num_instances):
+        if not candidates[instance]:
+            result.minima.append(None)
+            result.carrying_delivery.append(None)
+            continue
+        message, delivery = min(candidates[instance], key=lambda pair: pair[0])
+        result.minima.append(message)
+        result.carrying_delivery.append(delivery)
+        if result.junk is None and not verify_minimum(instance, message):
+            result.junk = (instance, message, delivery)
+    return result

@@ -1,0 +1,223 @@
+"""Confirmation phase: Slotted One-time Flooding with Audit Trail (§IV-C).
+
+After aggregation, the base station broadcasts the minima it received.
+Any sensor whose own value is *smaller* than the broadcast minimum for
+some instance becomes a **vetoer**.  SOF then propagates *a* veto to the
+base station:
+
+* all vetoers transmit their veto to every neighbour in interval 1;
+* a non-vetoer forwards only the **first** veto it receives — received in
+  interval ``i``, forwarded in interval ``i + 1`` — and ignores all
+  others (one-time);
+* every send/forward is recorded as an audit tuple
+  ``<interval, message, sensor key, in-edge key, out-edge key>``.
+
+The slotting bounds every audit trail at ``L + 1`` tuples; the one-time
+rule makes the protocol immune to volume: an honest relay transmits at
+most one payload in the whole phase, so spurious vetoes cannot exhaust
+its forwarding capacity — they can at worst *replace* the legitimate
+veto, which still hands the base station a junk trail to pinpoint
+(Lemma 1: if any honest vetoer exists, the base station receives *some*
+veto).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.mac import verify_mac
+from ..keys.registry import BASE_STATION_ID
+from ..net.message import VetoMessage
+from ..net.network import Delivery, Network
+from ..net.node import ConfReceiptRecord, ConfSendRecord
+from .contexts import ConfirmationContext
+
+
+@dataclass
+class ConfirmationResult:
+    """What the base station learned from one confirmation phase."""
+
+    broadcast_minima: Tuple[float, ...]
+    # Earliest valid veto (message, delivery, arrival interval), if any.
+    valid_veto: Optional[Tuple[VetoMessage, Delivery, int]] = None
+    # Earliest spurious veto, if any.
+    spurious_veto: Optional[Tuple[VetoMessage, Delivery, int]] = None
+    all_bs_deliveries: List[Tuple[Delivery, int]] = field(default_factory=list)
+
+    @property
+    def silent(self) -> bool:
+        """True when no veto at all reached the base station."""
+        return self.valid_veto is None and self.spurious_veto is None
+
+
+def run_confirmation(
+    network: Network,
+    adversary,
+    depth_bound: int,
+    nonce: bytes,
+    broadcast_minima: Sequence[float],
+) -> ConfirmationResult:
+    """Run one confirmation phase (broadcast of minima + SOF)."""
+    L = depth_bound
+    minima = tuple(broadcast_minima)
+    # Announce the minima, the starting time and the fresh nonce (§IV-C).
+    network.authenticated_flood("confirmation", minima, nonce)
+
+    phase = network.new_phase("confirmation", L)
+    ctx = ConfirmationContext(
+        network=network,
+        phase=phase,
+        depth_bound=L,
+        nonce=nonce,
+        broadcast_minima=minima,
+    )
+
+    revoked = network.registry.revoked_sensors
+    honest_ids = [i for i in network.nodes if i not in revoked]
+    # Vetoes scheduled for transmission in the coming interval.
+    pending: Dict[int, VetoMessage] = {}
+    vetoers: List[int] = []
+    for node_id in honest_ids:
+        node = network.nodes[node_id]
+        veto = _make_veto(node, minima, nonce, L)
+        if veto is not None:
+            pending[node_id] = veto
+            vetoers.append(node_id)
+            node.forwarded_veto = True  # vetoers ignore all incoming vetoes
+
+    bs_arrivals: List[Tuple[Delivery, int]] = []
+
+    for k in phase.intervals():
+        if adversary is not None:
+            for node_id in sorted(network.malicious_ids):
+                adversary.conf_interval(ctx, node_id, k)
+
+        # Transmit everything scheduled for this interval.
+        for node_id, veto in sorted(pending.items()):
+            _transmit_veto(network, phase, node_id, veto, k)
+        pending.clear()
+
+        # Non-vetoers adopt the first verified veto they received.
+        if k < L:  # a forward scheduled for interval L+1 could never land
+            for node_id in honest_ids:
+                node = network.nodes[node_id]
+                if node.forwarded_veto:
+                    continue
+                adopted = _first_verified_veto(phase, node_id, k)
+                if adopted is None:
+                    continue
+                veto, delivery = adopted
+                node.forwarded_veto = True
+                node.audit.conf_receipts.append(
+                    ConfReceiptRecord(
+                        interval=k,
+                        message=veto,
+                        in_edge_index=delivery.key_index,
+                        frm=delivery.sender,
+                    )
+                )
+                pending[node_id] = veto
+
+        # Base station collects arrivals.
+        for delivery in phase.verified_inbox(BASE_STATION_ID, k):
+            if isinstance(delivery.payload, VetoMessage):
+                bs_arrivals.append((delivery, k))
+
+    network.metrics.record_flooding_rounds(1.0, "confirmation-phase")
+    return _base_station_classify(network, minima, nonce, bs_arrivals, L)
+
+
+def _make_veto(node, minima, nonce, depth_bound) -> Optional[VetoMessage]:
+    """Build the node's veto for the first violated instance, if any."""
+    from ..crypto.mac import compute_mac
+
+    if not node.has_valid_level(depth_bound):
+        # A sensor without a valid aggregation level cannot name the
+        # level field of a veto; it abstains (relevant only under the
+        # hop-count baseline, where this is the measured damage).
+        return None
+    own_values = getattr(node, "query_values", None)
+    if own_values is None:
+        own_values = [node.reading] * len(minima)
+    for instance, minimum in enumerate(minima):
+        if instance < len(own_values) and own_values[instance] < minimum:
+            value = own_values[instance]
+            mac = compute_mac(
+                node.sensor_key, node.node_id, instance, value, node.level, nonce
+            )
+            return VetoMessage(
+                sensor_id=node.node_id,
+                value=value,
+                level=node.level,
+                mac=mac,
+                instance=instance,
+            )
+    return None
+
+
+def _transmit_veto(network, phase, node_id, veto, interval) -> None:
+    neighbors = network.secure_neighbors(node_id)
+    if not neighbors:
+        return
+    phase.send(node_id, neighbors, veto, interval=interval)
+    node = network.nodes[node_id]
+    for neighbor in neighbors:
+        out_index = network.registry.edge_key_index(node_id, neighbor)
+        if out_index is None:
+            continue
+        node.audit.conf_sends.append(
+            ConfSendRecord(
+                interval=interval, message=veto, out_edge_index=out_index, to=neighbor
+            )
+        )
+
+
+def _first_verified_veto(phase, node_id, interval):
+    for delivery in phase.verified_inbox(node_id, interval):
+        if isinstance(delivery.payload, VetoMessage):
+            return delivery.payload, delivery
+    return None
+
+
+def _base_station_classify(
+    network: Network,
+    minima: Tuple[float, ...],
+    nonce: bytes,
+    arrivals: List[Tuple[Delivery, int]],
+    depth_bound: int,
+) -> ConfirmationResult:
+    """Split arrivals into valid and spurious vetoes (Figure 1, steps 6-8).
+
+    A veto is *valid* when its sensor-key MAC verifies for the claimed
+    (unrevoked) sensor, its value undercuts the broadcast minimum of its
+    instance, and its level is plausible.  Everything else is spurious —
+    junk injected by the adversary, since no honest sensor emits it.
+    """
+    result = ConfirmationResult(broadcast_minima=minima, all_bs_deliveries=arrivals)
+    registry = network.registry
+    for delivery, interval in arrivals:
+        veto = delivery.payload
+        assert isinstance(veto, VetoMessage)
+        valid = (
+            0 <= veto.instance < len(minima)
+            and veto.value < minima[veto.instance]
+            and 1 <= veto.level <= depth_bound
+            and 1 <= veto.sensor_id
+            and veto.sensor_id < network.topology.num_nodes
+            and not registry.revocation.is_sensor_revoked(veto.sensor_id)
+            and verify_mac(
+                registry.sensor_key(veto.sensor_id),
+                veto.mac,
+                veto.sensor_id,
+                veto.instance,
+                veto.value,
+                veto.level,
+                nonce,
+            )
+        )
+        if valid and result.valid_veto is None:
+            result.valid_veto = (veto, delivery, interval)
+        elif not valid and result.spurious_veto is None:
+            result.spurious_veto = (veto, delivery, interval)
+    return result

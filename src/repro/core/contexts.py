@@ -1,0 +1,80 @@
+"""Per-phase context objects shared with the adversary.
+
+The paper's attack model (Section III) lets malicious sensors behave
+arbitrarily: they see every message and may transmit anything their key
+material can authenticate, at any interval, to any sensor.  Rather than
+threading dozens of parameters through every adversary hook, each phase
+hands the adversary one of these context objects: the live
+:class:`~repro.net.network.PhaseContext` (so the adversary *sends through
+the same link layer as everyone else* — it cannot fabricate MACs for keys
+it does not hold), plus the public parameters of the phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.message import ReadingMessage, VetoMessage
+from ..net.network import Network, PhaseContext
+
+
+@dataclass
+class TreeContext:
+    """Tree-formation phase: public knowledge + live phase handle."""
+
+    network: Network
+    phase: PhaseContext
+    depth_bound: int
+    variant: str  # "timestamp" (VMAT) or "hopcount" (naive baseline)
+
+
+@dataclass
+class AggregationContext:
+    """Aggregation phase (§IV-B).
+
+    ``nonce`` is the fresh query nonce from the authenticated broadcast;
+    ``num_instances`` the number of parallel MIN instances (1 for a plain
+    MIN query, ``m`` for COUNT/SUM synopses).
+    """
+
+    network: Network
+    phase: PhaseContext
+    depth_bound: int
+    nonce: bytes
+    num_instances: int = 1
+
+
+@dataclass
+class ConfirmationContext:
+    """Confirmation phase (§IV-C): SOF over the broadcast minima."""
+
+    network: Network
+    phase: PhaseContext
+    depth_bound: int
+    nonce: bytes
+    broadcast_minima: Tuple[float, ...]  # per-instance minima announced by the BS
+
+
+@dataclass
+class PredicateTestContext:
+    """One keyed predicate test (§VI-A).
+
+    ``key_ref`` is ``("pool", index)`` or ``("sensor", id)``;
+    ``reply_mac`` is the correct "yes" reply ``MAC_K(N)``, which only
+    sensors holding ``K`` can produce — it is exposed here *only* to the
+    protocol runner, never to the adversary hooks (the adversary must
+    derive it from its own key material if it can).
+    """
+
+    network: Network
+    phase: PhaseContext
+    depth_bound: int
+    key_ref: Tuple[str, int]
+    predicate_bytes: bytes
+    nonce: bytes
+    reply_hash: bytes
+    # The decoded predicate object.  The challenge is public (flooded to
+    # everyone), so handing the adversary the parsed form grants no
+    # capability beyond what predicate_bytes already does.
+    predicate: object = None

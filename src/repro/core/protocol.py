@@ -1,0 +1,325 @@
+"""The full VMAT driver (Figure 1) and the repeated-execution session.
+
+One :meth:`VMATProtocol.execute` is one run of Figure 1:
+
+1. form an aggregation tree;
+2. run the aggregation phase, wait for the minimum;
+3. spurious minimum → junk-triggered pinpointing/revocation, return;
+4. broadcast the minimum, wait for vetoes (SOF);
+5. no veto → return the minimum as the correct result;
+6. spurious veto → junk-triggered pinpointing/revocation, return;
+7. legitimate veto → veto-triggered pinpointing/revocation, return.
+
+:meth:`VMATProtocol.run_session` then repeats executions, which is how
+Theorem 7's overall guarantee plays out operationally: every execution
+either answers the query or strictly shrinks the adversary's key
+material, so a persistent attacker is fully revoked after finitely many
+executions and the system returns to answering every query.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.mac import compute_mac, verify_mac
+from ..crypto.nonce import NonceSource
+from ..errors import ProtocolError
+from ..keys.registry import BASE_STATION_ID
+from ..keys.revocation import RevocationEvent
+from ..net.message import ReadingMessage
+from ..net.network import Network
+from .aggregation import AggregationResult, run_aggregation
+from .confirmation import ConfirmationResult, run_confirmation
+from .pinpoint import Pinpointer, PinpointOutcome
+from .queries import MinQuery
+from .synopses import verify_synopsis
+from .tree import TreeFormationResult, form_tree
+
+
+class ExecutionOutcome(enum.Enum):
+    """Terminal state of one Figure-1 execution."""
+
+    RESULT = "result"
+    VETO_PINPOINT = "veto-pinpoint"
+    JUNK_AGGREGATION_PINPOINT = "junk-aggregation-pinpoint"
+    JUNK_CONFIRMATION_PINPOINT = "junk-confirmation-pinpoint"
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one execution produced, for callers and benches."""
+
+    outcome: ExecutionOutcome
+    query_name: str
+    estimate: Optional[float] = None
+    minima: List[float] = field(default_factory=list)
+    pinpoint: Optional[PinpointOutcome] = None
+    tree: Optional[TreeFormationResult] = None
+    # Ground truth over the readings assigned this execution (honest +
+    # malicious self-reports), for correctness assertions.
+    honest_true_value: Optional[float] = None
+    overall_true_value: Optional[float] = None
+    flooding_rounds: float = 0.0
+    num_vetoers: int = 0
+
+    @property
+    def produced_result(self) -> bool:
+        return self.outcome is ExecutionOutcome.RESULT
+
+    @property
+    def revocations(self) -> List[RevocationEvent]:
+        return self.pinpoint.revocations if self.pinpoint is not None else []
+
+
+@dataclass
+class SessionResult:
+    """Outcome of a repeated-execution session (Theorem 7 in action)."""
+
+    executions: List[ExecutionResult] = field(default_factory=list)
+    final_estimate: Optional[float] = None
+
+    @property
+    def executions_until_result(self) -> int:
+        return len(self.executions)
+
+    @property
+    def total_revocations(self) -> int:
+        return sum(len(e.revocations) for e in self.executions)
+
+
+class VMATProtocol:
+    """Drives VMAT executions over one network + adversary."""
+
+    def __init__(
+        self,
+        network: Network,
+        adversary=None,
+        depth_bound: Optional[int] = None,
+        tree_variant: str = "timestamp",
+        nonce_seed: bytes = b"vmat-nonce-seed",
+    ) -> None:
+        self.network = network
+        self.adversary = adversary
+        self.depth_bound = (
+            depth_bound if depth_bound is not None
+            else network.config.protocol.depth_bound
+        )
+        self.tree_variant = tree_variant
+        self.nonces = NonceSource(nonce_seed)
+
+    # ------------------------------------------------------------------
+    # One execution of Figure 1
+    # ------------------------------------------------------------------
+    def execute(self, query, readings: Dict[int, float]) -> ExecutionResult:
+        """Run one execution of Figure 1 for ``query``.
+
+        ``readings`` assigns a reading to every sensor id (honest and
+        malicious; a malicious sensor's assigned reading is what it
+        would report if it behaved, and what its strategy may deviate
+        from).
+        """
+        network = self.network
+        L = self.depth_bound
+        rounds_before = network.metrics.flooding_rounds
+        tracer = getattr(network, "tracer", None)
+        if tracer is not None:
+            tracer.record("execution-start", query=query.name, depth_bound=L)
+
+        # Fresh query nonce, announced with the query (Section IV-B).
+        nonce = self.nonces.next()
+        network.authenticated_flood("query", query.name, query.num_instances, nonce)
+
+        # Install per-execution state on honest sensors...
+        revoked = network.registry.revoked_sensors
+        honest_ids = [i for i in network.nodes if i not in revoked]
+        own_messages: Dict[int, List[ReadingMessage]] = {}
+        for node_id in honest_ids:
+            node = network.nodes[node_id]
+            node.begin_execution(reading=float(readings.get(node_id, 0.0)))
+            values = query.instance_values(node_id, node.reading, nonce)
+            node.query_values = values
+            own_messages[node_id] = self._sign_values(node_id, values, nonce)
+
+        # ... and hand the adversary its loot-side state.
+        if self.adversary is not None:
+            mal_readings = {
+                i: float(readings.get(i, 0.0)) for i in network.malicious_ids
+            }
+            mal_values = {
+                i: query.instance_values(i, mal_readings[i], nonce)
+                for i in network.malicious_ids
+            }
+            mal_messages = {
+                i: self._sign_values(i, mal_values[i], nonce)
+                for i in network.malicious_ids
+            }
+            self.adversary.begin_execution(mal_readings, mal_values, mal_messages)
+
+        result = ExecutionResult(outcome=ExecutionOutcome.RESULT, query_name=query.name)
+        participating = [i for i in readings if i not in revoked]
+        result.honest_true_value = query.true_value(
+            [readings[i] for i in participating if i not in network.malicious_ids]
+        )
+        result.overall_true_value = query.true_value(
+            [readings[i] for i in participating]
+        )
+
+        # Step 1: tree formation.
+        result.tree = form_tree(network, self.adversary, L, variant=self.tree_variant)
+
+        # Step 2: aggregation.
+        agg = run_aggregation(
+            network,
+            self.adversary,
+            L,
+            nonce,
+            own_messages,
+            query.num_instances,
+            verify_minimum=lambda instance, message: self._verify_minimum(
+                query, nonce, instance, message
+            ),
+        )
+        result.minima = agg.minimum_values()
+
+        # Steps 3-4: spurious minimum → junk-triggered pinpointing.
+        if agg.junk is not None:
+            instance, message, delivery = agg.junk
+            pinpointer = self._pinpointer()
+            result.pinpoint = pinpointer.junk_aggregation(message, delivery)
+            result.outcome = ExecutionOutcome.JUNK_AGGREGATION_PINPOINT
+            result.flooding_rounds = network.metrics.flooding_rounds - rounds_before
+            self._trace_outcome(result)
+            return result
+
+        # Step 5: broadcast the minima, wait for vetoes.
+        conf = run_confirmation(network, self.adversary, L, nonce, result.minima)
+        result.num_vetoers = sum(
+            1 for node_id in honest_ids
+            if network.nodes[node_id].forwarded_veto
+            and not network.nodes[node_id].audit.conf_receipts
+        )
+
+        # Step 6: no veto → the minimum is correct.
+        if conf.silent:
+            result.outcome = ExecutionOutcome.RESULT
+            result.estimate = query.estimate(result.minima)
+            result.flooding_rounds = network.metrics.flooding_rounds - rounds_before
+            self._trace_outcome(result)
+            return result
+
+        pinpointer = self._pinpointer()
+        if conf.valid_veto is not None:
+            # Step 8: legitimate veto → veto-triggered pinpointing.
+            veto, _delivery, _interval = conf.valid_veto
+            result.pinpoint = pinpointer.veto_triggered(veto)
+            result.outcome = ExecutionOutcome.VETO_PINPOINT
+        else:
+            # Step 7: spurious veto → junk-triggered pinpointing.
+            veto, delivery, interval = conf.spurious_veto
+            result.pinpoint = pinpointer.junk_confirmation(veto, delivery, interval)
+            result.outcome = ExecutionOutcome.JUNK_CONFIRMATION_PINPOINT
+        result.flooding_rounds = network.metrics.flooding_rounds - rounds_before
+        self._trace_outcome(result)
+        return result
+
+    def _trace_outcome(self, result: "ExecutionResult") -> None:
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is None:
+            return
+        tracer.record(
+            "execution-end",
+            outcome=result.outcome.value,
+            estimate=result.estimate,
+            flooding_rounds=result.flooding_rounds,
+        )
+        for event in result.revocations:
+            tracer.record(
+                "revocation",
+                what=event.kind,
+                target=event.target,
+                reason=event.reason,
+            )
+
+    # ------------------------------------------------------------------
+    # Repeated executions (Theorem 7 operationally)
+    # ------------------------------------------------------------------
+    def run_session(
+        self,
+        query,
+        readings: Dict[int, float],
+        max_executions: int = 10_000,
+    ) -> SessionResult:
+        """Repeat executions until one returns a result.
+
+        Every non-result execution revokes at least one adversary key
+        (Theorem 6), so with a finite adversary the loop terminates; the
+        ``max_executions`` guard exists only to fail loudly if that
+        invariant were ever broken.
+        """
+        session = SessionResult()
+        for _ in range(max_executions):
+            execution = self.execute(query, readings)
+            session.executions.append(execution)
+            if execution.produced_result:
+                session.final_estimate = execution.estimate
+                return session
+            if not execution.revocations:
+                raise ProtocolError(
+                    "an execution neither produced a result nor revoked "
+                    "anything — Theorem 7 violated"
+                )
+        raise ProtocolError(
+            f"no result after {max_executions} executions; the adversary "
+            "should have been fully revoked long before this"
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _pinpointer(self) -> Pinpointer:
+        return Pinpointer(self.network, self.adversary, self.depth_bound, self.nonces)
+
+    def _sign_values(
+        self, sensor_id: int, values: Sequence[float], nonce: bytes
+    ) -> List[ReadingMessage]:
+        key = self.network.registry.sensor_key(sensor_id)
+        return [
+            ReadingMessage(
+                sensor_id=sensor_id,
+                value=value,
+                mac=compute_mac(key, sensor_id, instance, value, nonce),
+                instance=instance,
+            )
+            for instance, value in enumerate(values)
+        ]
+
+    def _verify_minimum(self, query, nonce: bytes, instance: int, message: ReadingMessage) -> bool:
+        """Base-station check on a candidate minimum (Figure 1, step 4):
+        a plausible unrevoked origin, a valid sensor-key MAC, and (for
+        synopsis queries) a value some legal reading could produce."""
+        network = self.network
+        sensor_id = message.sensor_id
+        if not 1 <= sensor_id < network.topology.num_nodes:
+            return False
+        if network.registry.revocation.is_sensor_revoked(sensor_id):
+            return False
+        if not verify_mac(
+            network.registry.sensor_key(sensor_id),
+            message.mac,
+            sensor_id,
+            message.instance,
+            message.value,
+            nonce,
+        ):
+            return False
+        domain = query.instance_reading_domain(instance)
+        if domain is None:
+            return True
+        if domain == "config":
+            protocol = network.config.protocol
+            low, high = max(1, protocol.reading_min), protocol.reading_max
+        else:
+            low, high = domain
+        return verify_synopsis(nonce, sensor_id, instance, message.value, low, high)

@@ -1,0 +1,230 @@
+"""Aggregation query types and (ε, δ)-approximation sizing (§III, §VIII).
+
+A query determines, per sensor, the *per-instance values* fed into the
+MIN machinery:
+
+* :class:`MinQuery` — one instance, the raw reading.
+* :class:`SumQuery` — ``m`` instances of exponential synopses with rate
+  equal to the (non-negative integer) reading.
+* :class:`CountQuery` — a SUM of predicate indicators (reading 1 for
+  sensors satisfying the predicate, absent otherwise).
+* :class:`AverageQuery` — composed from a SUM and a COUNT estimate.
+
+``required_synopses`` converts an (ε, δ) target into an instance count;
+the paper's evaluation fixes m = 100 (Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import ConfigError
+from .synopses import ABSENT, synopsis_value
+
+
+def required_synopses(epsilon: float, delta: float) -> int:
+    """Instances needed for an (ε, δ)-approximation.
+
+    ``sum(a_i_min)`` is Gamma(m, S), so the estimator's relative error is
+    asymptotically ``N(0, 1/m)``; ``m = ceil(3 ln(2/δ) / ε²)`` gives the
+    two-sided tail bound with a comfortable constant (``Theta(eps^-2 log
+    delta^-1)`` as in [17]).
+    """
+    if not 0 < epsilon < 1:
+        raise ConfigError("epsilon must be in (0, 1)")
+    if not 0 < delta < 1:
+        raise ConfigError("delta must be in (0, 1)")
+    return math.ceil(3.0 * math.log(2.0 / delta) / (epsilon * epsilon))
+
+
+@dataclass(frozen=True)
+class MinQuery:
+    """Minimum reading across all sensors — the primitive everything
+    else reduces to.  Not robust on its own (any sensor can lower the
+    result by lying about *its own* reading), which is in-model."""
+
+    name: str = "min"
+
+    @property
+    def num_instances(self) -> int:
+        return 1
+
+    def instance_values(self, sensor_id: int, reading: float, nonce: bytes) -> List[float]:
+        return [float(reading)]
+
+    def estimate(self, minima: List[float]) -> float:
+        return minima[0]
+
+    def true_value(self, readings: List[float]) -> float:
+        return min(readings) if readings else float("inf")
+
+    def instance_reading_domain(self, instance: int):
+        """MIN carries raw readings, not synopses: nothing to invert."""
+        return None
+
+
+@dataclass(frozen=True)
+class MaxQuery:
+    """Maximum reading, by running MIN over negated readings.
+
+    The MIN machinery carries over unchanged: the sensor with the true
+    maximum holds the minimum negated value, silently dropping it
+    triggers its veto, and all audit/pinpointing guarantees apply.
+    """
+
+    name: str = "max"
+
+    @property
+    def num_instances(self) -> int:
+        return 1
+
+    def instance_values(self, sensor_id: int, reading: float, nonce: bytes) -> List[float]:
+        return [-float(reading)]
+
+    def estimate(self, minima: List[float]) -> float:
+        return -minima[0]
+
+    def true_value(self, readings: List[float]) -> float:
+        return max(readings) if readings else float("-inf")
+
+    def instance_reading_domain(self, instance: int):
+        return None
+
+
+@dataclass(frozen=True)
+class SumQuery:
+    """Sum of non-negative integer readings, via ``m`` synopses."""
+
+    num_synopses: int = 100
+    name: str = "sum"
+
+    def __post_init__(self) -> None:
+        if self.num_synopses < 1:
+            raise ConfigError("num_synopses must be >= 1")
+
+    @property
+    def num_instances(self) -> int:
+        return self.num_synopses
+
+    def instance_values(self, sensor_id: int, reading: float, nonce: bytes) -> List[float]:
+        if reading < 0 or reading != int(reading):
+            raise ConfigError(
+                f"SUM readings must be non-negative integers, got {reading!r}"
+            )
+        return [
+            synopsis_value(nonce, sensor_id, instance, reading)
+            for instance in range(self.num_synopses)
+        ]
+
+    def estimate(self, minima: List[float]) -> float:
+        from .synopses import estimate_sum
+
+        return estimate_sum(minima)
+
+    def true_value(self, readings: List[float]) -> float:
+        return float(sum(readings))
+
+    def instance_reading_domain(self, instance: int):
+        """Any reading in the configured domain is legal; the driver
+        narrows this with the deployment's ProtocolConfig."""
+        return "config"
+
+
+@dataclass(frozen=True)
+class CountQuery:
+    """Predicate count: how many sensors' readings satisfy ``predicate``.
+
+    A special case of SUM with indicator readings (Section VIII).
+    """
+
+    predicate: Callable[[float], bool] = field(default=lambda reading: True)
+    num_synopses: int = 100
+    name: str = "count"
+
+    def __post_init__(self) -> None:
+        if self.num_synopses < 1:
+            raise ConfigError("num_synopses must be >= 1")
+
+    @property
+    def num_instances(self) -> int:
+        return self.num_synopses
+
+    def instance_values(self, sensor_id: int, reading: float, nonce: bytes) -> List[float]:
+        if not self.predicate(reading):
+            return [ABSENT] * self.num_synopses
+        return [
+            synopsis_value(nonce, sensor_id, instance, 1)
+            for instance in range(self.num_synopses)
+        ]
+
+    def estimate(self, minima: List[float]) -> float:
+        from .synopses import estimate_sum
+
+        return estimate_sum(minima)
+
+    def true_value(self, readings: List[float]) -> float:
+        return float(sum(1 for r in readings if self.predicate(r)))
+
+    def instance_reading_domain(self, instance: int):
+        """Count synopses encode indicators: the only legal reading is 1.
+
+        Without this restriction a malicious sensor could submit the
+        synopsis of a huge reading and inflate the count arbitrarily
+        while still passing the "corresponds to some reading" check.
+        """
+        return (1, 1)
+
+
+@dataclass(frozen=True)
+class AverageQuery:
+    """Average reading over sensors satisfying ``predicate``.
+
+    Runs ``2m`` instances in a single execution: the first ``m`` estimate
+    the sum, the second ``m`` the count; the average is their ratio
+    (Section VIII: "average can be computed from predicate count and
+    sum").
+    """
+
+    predicate: Callable[[float], bool] = field(default=lambda reading: True)
+    num_synopses: int = 100
+    name: str = "average"
+
+    def __post_init__(self) -> None:
+        if self.num_synopses < 1:
+            raise ConfigError("num_synopses must be >= 1")
+
+    @property
+    def num_instances(self) -> int:
+        return 2 * self.num_synopses
+
+    def instance_values(self, sensor_id: int, reading: float, nonce: bytes) -> List[float]:
+        m = self.num_synopses
+        if not self.predicate(reading) or reading <= 0 or reading != int(reading):
+            return [ABSENT] * (2 * m)
+        sum_part = [
+            synopsis_value(nonce, sensor_id, instance, reading) for instance in range(m)
+        ]
+        count_part = [
+            synopsis_value(nonce, sensor_id, m + instance, 1) for instance in range(m)
+        ]
+        return sum_part + count_part
+
+    def estimate(self, minima: List[float]) -> float:
+        from .synopses import estimate_sum
+
+        m = self.num_synopses
+        total = estimate_sum(minima[:m])
+        count = estimate_sum(minima[m:])
+        return total / count if count > 0 else 0.0
+
+    def true_value(self, readings: List[float]) -> float:
+        eligible = [r for r in readings if self.predicate(r) and r > 0]
+        return sum(eligible) / len(eligible) if eligible else 0.0
+
+    def instance_reading_domain(self, instance: int):
+        return "config" if instance < self.num_synopses else (1, 1)
+
+
+Query = object  # structural: MinQuery | SumQuery | CountQuery | AverageQuery

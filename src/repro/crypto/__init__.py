@@ -1,0 +1,51 @@
+"""Symmetric-key cryptography toolbox (Sections III, IV, VI).
+
+VMAT deliberately avoids public-key cryptography; everything here is built
+from ``hmac``/``hashlib`` over a canonical byte encoding:
+
+* :mod:`~repro.crypto.encoding` — canonical, injective serialization of
+  the tuples the protocol MACs (so "MAC over ``v || nonce``" is
+  unambiguous and collision-free by construction).
+* :mod:`~repro.crypto.mac` — HMAC-SHA256 truncated to the configured MAC
+  length (the paper budgets 8 bytes per MAC).
+* :mod:`~repro.crypto.hash` — the public one-way hash ``H()`` used by the
+  keyed predicate test.
+* :mod:`~repro.crypto.prf` — deterministic key derivation and
+  pseudo-random values (key rings, synopses) from seeds.
+* :mod:`~repro.crypto.nonce` — fresh per-phase nonces issued by the base
+  station.
+* :mod:`~repro.crypto.authenticated_broadcast` — a μTESLA-style one-way
+  hash-chain scheme standing in for Ning et al. [20]: base-station
+  broadcasts that sensors can authenticate and the adversary cannot forge.
+"""
+
+from .authenticated_broadcast import (
+    AuthenticatedMessage,
+    BroadcastAuthority,
+    BroadcastVerifier,
+    KeyDisclosure,
+)
+from .encoding import decode_parts, encode_parts
+from .hash import hash_chain, oneway_hash
+from .mac import compute_mac, constant_time_equal, verify_mac
+from .nonce import NonceSource
+from .prf import derive_key, prf_bytes, prf_uniform, sample_distinct_indices
+
+__all__ = [
+    "AuthenticatedMessage",
+    "BroadcastAuthority",
+    "BroadcastVerifier",
+    "KeyDisclosure",
+    "NonceSource",
+    "compute_mac",
+    "constant_time_equal",
+    "decode_parts",
+    "derive_key",
+    "encode_parts",
+    "hash_chain",
+    "oneway_hash",
+    "prf_bytes",
+    "prf_uniform",
+    "sample_distinct_indices",
+    "verify_mac",
+]

@@ -1,0 +1,52 @@
+"""The public one-way hash ``H()`` and hash chains.
+
+``H()`` is the publicly known one-way function the keyed predicate test
+(Section VI-A) uses to let *every* sensor verify a "yes" reply without
+holding the key: the base station pre-announces ``H(MAC_K(N))`` and a
+relay forwards a candidate reply only if it hashes to that value.
+
+Hash chains back the μTESLA-style authenticated broadcast: the authority
+publishes the chain anchor ``H^n(seed)`` at deployment and walks the chain
+backwards, one link per broadcast slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+
+def oneway_hash(data: bytes) -> bytes:
+    """SHA-256, the publicly known one-way function ``H()``."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_chain(seed: bytes, length: int) -> List[bytes]:
+    """Return ``[H^length(seed), ..., H(seed), seed]``.
+
+    Element ``0`` is the *anchor* (the most-hashed value, safe to publish);
+    element ``length`` is the seed itself.  Consecutive elements satisfy
+    ``chain[i] == oneway_hash(chain[i + 1])``.
+    """
+    if length < 0:
+        raise ValueError("chain length must be non-negative")
+    values = [seed]
+    for _ in range(length):
+        values.append(oneway_hash(values[-1]))
+    values.reverse()
+    return values
+
+
+def verify_chain_link(known_anchor: bytes, candidate: bytes, max_distance: int) -> int:
+    """Hash ``candidate`` forward looking for ``known_anchor``.
+
+    Returns the number of hash applications needed (0 means the candidate
+    *is* the anchor), or ``-1`` if the anchor is not reached within
+    ``max_distance`` applications.
+    """
+    value = candidate
+    for distance in range(max_distance + 1):
+        if value == known_anchor:
+            return distance
+        value = oneway_hash(value)
+    return -1

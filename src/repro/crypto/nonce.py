@@ -1,0 +1,38 @@
+"""Fresh nonces for protocol phases.
+
+The base station announces a fresh nonce with every aggregation and
+confirmation phase (Sections IV-B, IV-C); sensor MACs bind readings and
+vetoes to the nonce so replies from earlier executions cannot be replayed.
+"""
+
+from __future__ import annotations
+
+from .prf import prf_bytes
+
+
+class NonceSource:
+    """Deterministic, non-repeating nonce generator.
+
+    Nonces are PRF outputs over a monotone counter, so a run is
+    reproducible given its seed while distinct counters never collide.
+    """
+
+    def __init__(self, secret: bytes, length: int = 8) -> None:
+        self._secret = secret
+        self._length = length
+        self._counter = 0
+        self._issued: set[bytes] = set()
+
+    def next(self) -> bytes:
+        nonce = prf_bytes(self._secret, "nonce", self._counter, length=self._length)
+        self._counter += 1
+        self._issued.add(nonce)
+        return nonce
+
+    @property
+    def issued_count(self) -> int:
+        return self._counter
+
+    def was_issued(self, nonce: bytes) -> bool:
+        """Whether this source issued ``nonce`` (for replay tests)."""
+        return nonce in self._issued

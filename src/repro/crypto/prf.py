@@ -1,0 +1,74 @@
+"""Deterministic key derivation and pseudo-randomness.
+
+Every key in the system — pool keys, sensor keys, broadcast-chain seeds —
+is derived from a single master secret via HMAC as a PRF, so the base
+station (which owns the master secret) can reconstruct any key on demand,
+and a sensor's entire key ring is determined by an announceable seed
+(Section VI: "the base station only needs to announce the associated
+random seed used for the selection" to revoke all of a sensor's keys).
+
+Synopsis generation (Section VIII) needs *verifiable* pseudo-randomness:
+``prf_uniform`` maps ``(seed parts) -> [0, 1)`` deterministically so a
+synopsis can be recomputed — and therefore checked — by anyone who knows
+the nonce and the claimed reading.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import random
+from typing import Any, List
+
+from ..errors import CryptoError
+from .encoding import encode_parts
+
+
+def prf_bytes(secret: bytes, *parts: Any, length: int = 16) -> bytes:
+    """HMAC-SHA256 based PRF: ``PRF(secret, parts)`` truncated/expanded.
+
+    Output longer than 32 bytes is produced by counter-mode expansion.
+    """
+    if not secret:
+        raise CryptoError("empty PRF secret")
+    if length <= 0:
+        raise CryptoError("PRF output length must be positive")
+    message = encode_parts(*parts)
+    blocks: List[bytes] = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(
+            hmac.new(secret, message + counter.to_bytes(4, "big"), hashlib.sha256).digest()
+        )
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_key(secret: bytes, label: str, *parts: Any, length: int = 16) -> bytes:
+    """Domain-separated key derivation: ``PRF(secret, label || parts)``."""
+    return prf_bytes(secret, label, *parts, length=length)
+
+
+def prf_uniform(secret: bytes, *parts: Any) -> float:
+    """A deterministic uniform draw in ``(0, 1)`` from ``(secret, parts)``.
+
+    Uses 8 PRF bytes (53 bits of which feed the mantissa).  The result is
+    strictly positive so it can safely feed ``-log(u)`` transforms.
+    """
+    raw = prf_bytes(secret, *parts, length=8)
+    value = int.from_bytes(raw, "big") / 2**64
+    # Avoid exactly 0.0 (probability 2^-64 but would break log()).
+    return value if value > 0.0 else 2.0**-64
+
+
+def sample_distinct_indices(seed: bytes, population: int, count: int) -> List[int]:
+    """Deterministically sample ``count`` distinct indices in ``[0, population)``.
+
+    This is the Eschenauer–Gligor ring selection: uniform without
+    replacement, fully determined by ``seed``.  Returned sorted ascending
+    (the binary searches in Figures 5/6 need a canonical order).
+    """
+    if count > population:
+        raise CryptoError(f"cannot sample {count} distinct from {population}")
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(population), count))

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the VMAT reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed (disconnected, unknown node, bad geometry)."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key material, encoding)."""
+
+
+class MacVerificationError(CryptoError):
+    """A MAC failed verification.
+
+    Protocol code generally treats failed verification as a *condition*
+    (returning ``False``) rather than an exception; this error is reserved
+    for API misuse such as verifying with an empty key.
+    """
+
+
+class BroadcastAuthError(CryptoError):
+    """An authenticated-broadcast message failed chain verification."""
+
+
+class KeyManagementError(ReproError):
+    """Key pre-distribution or registry invariant violated."""
+
+
+class RevocationError(KeyManagementError):
+    """An invalid revocation was requested (unknown key, double revoke)."""
+
+
+class NetworkError(ReproError):
+    """Message-layer failure: unknown destination, link without edge key."""
+
+
+class ProtocolError(ReproError):
+    """A VMAT protocol phase detected an internal invariant violation.
+
+    This indicates a bug in the implementation (or an adversary escaping
+    its sandbox), never a legitimate adversarial outcome: the protocol is
+    designed so that *every* adversarial behaviour maps to a defined
+    outcome (correct result, veto-triggered pinpointing, or junk-triggered
+    pinpointing).
+    """
+
+
+class AuditTrailError(ProtocolError):
+    """An audit trail failed well-formedness validation."""
+
+
+class PinpointError(ProtocolError):
+    """The pinpointing protocol reached a state the proofs rule out."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven incorrectly."""

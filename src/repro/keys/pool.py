@@ -1,0 +1,45 @@
+"""The global symmetric-key pool and per-sensor sensor keys.
+
+All key material is derived on demand from the base station's master
+secret with a domain-separated PRF, so the ``u = 100,000``-key pool of the
+paper's evaluation costs nothing to "store".  Sensors receive only their
+own ring keys and their own sensor key at deployment.
+"""
+
+from __future__ import annotations
+
+from ..config import KeyConfig
+from ..crypto.prf import derive_key
+from ..errors import KeyManagementError
+
+
+class KeyPool:
+    """Derivable global key pool (the paper's ``u`` keys) + sensor keys."""
+
+    def __init__(self, master_secret: bytes, config: KeyConfig) -> None:
+        if not master_secret:
+            raise KeyManagementError("master secret must be non-empty")
+        self._master = master_secret
+        self.config = config
+
+    @property
+    def size(self) -> int:
+        return self.config.pool_size
+
+    def pool_key(self, index: int) -> bytes:
+        """The symmetric key with the given pool index."""
+        if not 0 <= index < self.config.pool_size:
+            raise KeyManagementError(
+                f"pool index {index} out of range [0, {self.config.pool_size})"
+            )
+        return derive_key(self._master, "pool-key", index, length=self.config.key_length)
+
+    def sensor_key(self, sensor_id: int) -> bytes:
+        """The unique key a sensor shares with the base station."""
+        if sensor_id < 0:
+            raise KeyManagementError(f"invalid sensor id {sensor_id}")
+        return derive_key(self._master, "sensor-key", sensor_id, length=self.config.key_length)
+
+    def broadcast_chain_seed(self) -> bytes:
+        """Seed of the base station's authenticated-broadcast hash chain."""
+        return derive_key(self._master, "broadcast-chain", length=32)

@@ -1,0 +1,86 @@
+"""Per-sensor key rings (Eschenauer–Gligor pre-distribution [7]).
+
+Each sensor is loaded with ``r`` keys drawn uniformly at random (without
+replacement) from the global pool of ``u`` keys.  The draw is determined
+by a per-sensor *ring seed* derived from the master secret — the detail
+the paper leans on for cheap bulk revocation: "To revoke all of A's edge
+keys, the base station only needs to announce the associated random seed
+used for the selection" (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from ..config import KeyConfig
+from ..crypto.prf import derive_key, sample_distinct_indices
+from ..errors import KeyManagementError
+from .pool import KeyPool
+
+
+def ring_seed(master_secret: bytes, sensor_id: int) -> bytes:
+    """The announceable seed determining one sensor's ring selection."""
+    return derive_key(master_secret, "ring-seed", sensor_id, length=16)
+
+
+def ring_indices_from_seed(seed: bytes, config: KeyConfig) -> List[int]:
+    """Expand a ring seed into the sorted pool indices it selects."""
+    return sample_distinct_indices(seed, config.pool_size, config.ring_size)
+
+
+class KeyRing:
+    """One sensor's ring: sorted pool indices + the key bytes themselves.
+
+    The sorted order of :attr:`indices` is load-bearing — the binary
+    search of Figure 5 runs over "``z_1 < z_2 < ... < z_r``, the index of
+    the r edge keys held by sensor A".
+    """
+
+    def __init__(
+        self,
+        sensor_id: int,
+        seed: bytes,
+        pool: KeyPool,
+        indices: "Tuple[int, ...] | None" = None,
+    ) -> None:
+        self.sensor_id = sensor_id
+        self.seed = seed
+        # Explicit indices support deterministic schemes (e.g. pairwise,
+        # see repro.keys.schemes); the default is the seed-derived
+        # Eschenauer–Gligor draw.
+        self.indices: Tuple[int, ...] = (
+            tuple(sorted(indices))
+            if indices is not None
+            else tuple(ring_indices_from_seed(seed, pool.config))
+        )
+        self._index_set: FrozenSet[int] = frozenset(self.indices)
+        self._pool = pool
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __contains__(self, pool_index: int) -> bool:
+        return pool_index in self._index_set
+
+    def holds(self, pool_index: int) -> bool:
+        return pool_index in self._index_set
+
+    def key(self, pool_index: int) -> bytes:
+        """Key bytes for a pool index this sensor holds."""
+        if pool_index not in self._index_set:
+            raise KeyManagementError(
+                f"sensor {self.sensor_id} does not hold pool key {pool_index}"
+            )
+        return self._pool.pool_key(pool_index)
+
+    def shared_indices(self, other: "KeyRing") -> Tuple[int, ...]:
+        """Sorted pool indices present in both rings (candidate edge keys)."""
+        return tuple(sorted(self._index_set & other._index_set))
+
+    def rank_of(self, pool_index: int) -> int:
+        """Position (0-based) of ``pool_index`` in this ring's sorted order."""
+        if pool_index not in self._index_set:
+            raise KeyManagementError(
+                f"sensor {self.sensor_id} does not hold pool key {pool_index}"
+            )
+        return self.indices.index(pool_index)

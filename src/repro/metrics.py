@@ -1,0 +1,104 @@
+"""Cross-cutting measurement: bytes, messages, flooding rounds, tests.
+
+The paper's cost claims are stated in two units:
+
+* **flooding rounds** — "the amount of time required for the base station
+  to flood the entire sensor network" (Section III).  Tree formation,
+  aggregation and confirmation each cost one round (L intervals); every
+  authenticated broadcast costs one round; every keyed predicate test
+  costs two (challenge out, reply back).
+* **communication complexity** — "the total number of bits sent and
+  received by a sensor, including those bits forwarded for other
+  sensors" (Section VII).
+
+:class:`Metrics` accumulates both, per node and in aggregate, so the
+benchmark harness can regenerate the Section IX comparisons and validate
+Theorems 2, 6 and 7 empirically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Metrics:
+    """Mutable accumulator shared by one protocol execution."""
+
+    bytes_sent: Counter = field(default_factory=Counter)
+    bytes_received: Counter = field(default_factory=Counter)
+    messages_sent: Counter = field(default_factory=Counter)
+    messages_received: Counter = field(default_factory=Counter)
+    flooding_rounds: float = 0.0
+    messages_lost: int = 0
+    predicate_tests: int = 0
+    authenticated_broadcasts: int = 0
+    intervals_elapsed: int = 0
+    round_log: List[Tuple[str, float]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_transmission(self, sender: int, receiver: int, num_bytes: int) -> None:
+        self.bytes_sent[sender] += num_bytes
+        self.bytes_received[receiver] += num_bytes
+        self.messages_sent[sender] += 1
+        self.messages_received[receiver] += 1
+
+    def record_flooding_rounds(self, rounds: float, label: str = "") -> None:
+        self.flooding_rounds += rounds
+        self.round_log.append((label, rounds))
+
+    def record_predicate_test(self) -> None:
+        """One keyed predicate test = 2 flooding rounds (Section VI-A)."""
+        self.predicate_tests += 1
+        self.record_flooding_rounds(2.0, "keyed-predicate-test")
+
+    def record_authenticated_broadcast(self) -> None:
+        """One authenticated broadcast = 1 flooding round."""
+        self.authenticated_broadcasts += 1
+        self.record_flooding_rounds(1.0, "authenticated-broadcast")
+
+    def record_intervals(self, count: int) -> None:
+        self.intervals_elapsed += count
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def node_communication(self, node: int) -> int:
+        """Paper's per-sensor communication complexity, in bytes."""
+        return self.bytes_sent[node] + self.bytes_received[node]
+
+    def max_node_communication(self, node_ids) -> int:
+        return max((self.node_communication(n) for n in node_ids), default=0)
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent.values())
+
+    def total_messages(self) -> int:
+        return sum(self.messages_sent.values())
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another execution's numbers into this accumulator."""
+        self.bytes_sent.update(other.bytes_sent)
+        self.bytes_received.update(other.bytes_received)
+        self.messages_sent.update(other.messages_sent)
+        self.messages_received.update(other.messages_received)
+        self.flooding_rounds += other.flooding_rounds
+        self.messages_lost += other.messages_lost
+        self.predicate_tests += other.predicate_tests
+        self.authenticated_broadcasts += other.authenticated_broadcasts
+        self.intervals_elapsed += other.intervals_elapsed
+        self.round_log.extend(other.round_log)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "total_bytes": float(self.total_bytes()),
+            "total_messages": float(self.total_messages()),
+            "flooding_rounds": self.flooding_rounds,
+            "predicate_tests": float(self.predicate_tests),
+            "authenticated_broadcasts": float(self.authenticated_broadcasts),
+            "intervals_elapsed": float(self.intervals_elapsed),
+        }

@@ -1,0 +1,457 @@
+"""The slotted sensor network.
+
+This module glues topology, keys, clocks and metrics into the execution
+substrate for VMAT's interval-slotted phases:
+
+* **Secure links.**  A radio edge is usable when both endpoints are
+  unrevoked and still share a non-revoked pool key (the *edge key*).
+  Revocations immediately reshape the secure topology.
+* **Phases.**  A :class:`PhaseContext` runs ``num_intervals`` slots.
+  Payloads sent in interval ``k`` are received in interval ``k`` (the
+  guard-band property of Section IV-A); receivers act on them from
+  interval ``k + 1``.
+* **Edge MACs.**  Every transmission carries a real HMAC under the edge
+  key.  Honest receivers drop frames whose MAC fails or whose key they
+  do not hold — adversarial injection is possible exactly on the keys
+  the adversary actually holds, as in the paper's model.
+* **Capacity.**  A sensor can originate at most
+  ``forwarding_capacity`` distinct payloads per interval (each reaching
+  any subset of neighbours).  This is the resource choking attacks
+  exhaust; VMAT's honest senders use at most one payload per interval
+  and never feel it.
+* **Authenticated broadcast.**  ``authenticated_flood`` delivers a
+  base-station message to every honest sensor through the μTESLA-style
+  verifier, charging one flooding round — the service [20] provides.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..config import ExperimentConfig
+from ..crypto.mac import compute_mac, verify_mac
+from ..errors import NetworkError, ProtocolError
+from ..keys.registry import BASE_STATION_ID, KeyRegistry
+from ..metrics import Metrics
+from ..sim.clock import ClockAssignment
+from ..topology.graph import Topology
+from .message import MAC_BYTES, Payload, message_digest
+from .node import HonestNode
+
+EDGE_KEY_INDEX_BYTES = 2
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One received link-layer frame."""
+
+    sender: int  # claimed sender id (authenticated only up to the edge key)
+    receiver: int
+    payload: Payload
+    key_index: int
+    edge_mac: bytes
+    interval: int
+    verified: bool
+
+    def wire_size(self) -> int:
+        return self.payload.wire_size() + MAC_BYTES + EDGE_KEY_INDEX_BYTES
+
+
+class PhaseContext:
+    """One slotted protocol phase (tree formation, aggregation, SOF, ...).
+
+    The phase advances interval by interval under the caller's control:
+
+    >>> phase = network.new_phase("aggregation", num_intervals=L)   # doctest: +SKIP
+    >>> for k in phase.intervals():                                 # doctest: +SKIP
+    ...     for node in ...:
+    ...         frames = phase.inbox(node, k)
+    ...         phase.send(node, [parent], payload, interval=k + 1)
+
+    Sends must target the current or a future interval; the inbox for
+    interval ``k`` is readable once ``k`` has begun.
+    """
+
+    def __init__(
+        self, network: "Network", name: str, num_intervals: int, sequence: int = 0
+    ) -> None:
+        if num_intervals < 1:
+            raise NetworkError("a phase needs at least one interval")
+        self.network = network
+        self.name = name
+        self.num_intervals = num_intervals
+        # Monotone per-network sequence number: a stable identity for
+        # "have I acted in this phase yet" bookkeeping (object ids get
+        # recycled; this never does).
+        self.sequence = sequence
+        self.current_interval = 0
+        self._pending: Dict[int, Dict[int, List[Delivery]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self._payloads_per_interval: Counter = Counter()
+        self.suppressed_sends = 0
+
+    # ------------------------------------------------------------------
+    # Interval control
+    # ------------------------------------------------------------------
+    def intervals(self) -> Iterable[int]:
+        """Iterate intervals 1..num_intervals, advancing the phase."""
+        for k in range(1, self.num_intervals + 1):
+            self.begin_interval(k)
+            yield k
+
+    def begin_interval(self, k: int) -> None:
+        if k != self.current_interval + 1:
+            raise NetworkError(
+                f"intervals must advance sequentially; at {self.current_interval}, got {k}"
+            )
+        self.current_interval = k
+        self.network.metrics.record_intervals(1)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def remaining_capacity(self, sender: int, interval: int) -> int:
+        used = self._payloads_per_interval[(sender, interval)]
+        return max(0, self.network.config.network.forwarding_capacity - used)
+
+    def send(
+        self,
+        sender: int,
+        receivers: Sequence[int],
+        payload: Payload,
+        interval: int,
+        key_index: Optional[int] = None,
+        allow_nonneighbor: bool = False,
+        claimed_sender: Optional[int] = None,
+    ) -> bool:
+        """Transmit one payload to a set of receivers in ``interval``.
+
+        One call counts once against the sender's per-interval capacity
+        regardless of the receiver count (a radio transmission is local
+        broadcast; the per-receiver cost is the individual edge MACs,
+        which we charge in bytes).  Returns ``False`` when capacity is
+        exhausted (the payload is silently dropped, as a saturated radio
+        would).
+
+        ``key_index`` overrides the default edge key — only the
+        adversary has a reason to do this, e.g. to inject on a specific
+        compromised key.  ``allow_nonneighbor`` models wormholes (the
+        attack model lets the adversary "send messages to any sensor").
+        ``claimed_sender`` forges the unauthenticated sender field.
+        """
+        if interval < max(1, self.current_interval):
+            raise NetworkError(
+                f"cannot send into past interval {interval} (current {self.current_interval})"
+            )
+        if interval > self.num_intervals:
+            # Beyond the phase: legal no-op, the frame evaporates
+            # (matches "ignored after the L-th interval").
+            return False
+        if self._payloads_per_interval[(sender, interval)] >= (
+            self.network.config.network.forwarding_capacity
+        ):
+            self.suppressed_sends += 1
+            return False
+        self._payloads_per_interval[(sender, interval)] += 1
+
+        origin = claimed_sender if claimed_sender is not None else sender
+        for receiver in receivers:
+            self._transmit_one(
+                sender, origin, receiver, payload, interval, key_index, allow_nonneighbor
+            )
+        return True
+
+    def _transmit_one(
+        self,
+        physical_sender: int,
+        claimed_sender: int,
+        receiver: int,
+        payload: Payload,
+        interval: int,
+        key_index: Optional[int],
+        allow_nonneighbor: bool,
+    ) -> None:
+        network = self.network
+        if receiver == physical_sender:
+            raise NetworkError("node cannot send to itself")
+        if not allow_nonneighbor and not network.topology.has_edge(physical_sender, receiver):
+            raise NetworkError(
+                f"{physical_sender} -> {receiver} is not a radio link "
+                "(pass allow_nonneighbor=True to model a wormhole)"
+            )
+        if key_index is None:
+            key_index = network.registry.edge_key_index(physical_sender, receiver)
+            if key_index is None:
+                # No shared usable key: the frame cannot be authenticated
+                # and an honest receiver would drop it; skip entirely.
+                return
+        elif not network.sender_possesses_key(physical_sender, key_index):
+            # The simulator computes MACs on behalf of senders, so it must
+            # refuse to "forge" with a key the sender does not possess —
+            # that would hand the adversary a capability the attack model
+            # denies it.  (Compromised sensors pool their loot: any
+            # malicious sensor may use any compromised key.)
+            raise NetworkError(
+                f"sender {physical_sender} does not possess pool key {key_index}"
+            )
+        # Residual link loss (extension; off by default — see
+        # NetworkConfig.loss_rate).  The sender still burns the airtime,
+        # so transmitted bytes are charged either way.
+        if network.config.network.loss_rate > 0.0 and (
+            network.loss_rng.random() < network.config.network.loss_rate
+        ):
+            network.metrics.bytes_sent[physical_sender] += (
+                payload.wire_size() + MAC_BYTES + EDGE_KEY_INDEX_BYTES
+            )
+            network.metrics.messages_lost += 1
+            return
+        key = network.registry.pool_key(key_index)
+        mac = compute_mac(
+            key,
+            "edge",
+            claimed_sender,
+            receiver,
+            self.name,
+            interval,
+            payload.canonical_bytes(),
+        )
+        delivery = Delivery(
+            sender=claimed_sender,
+            receiver=receiver,
+            payload=payload,
+            key_index=key_index,
+            edge_mac=mac,
+            interval=interval,
+            verified=network.receiver_accepts(receiver, key_index, mac, claimed_sender,
+                                              self.name, interval, payload),
+        )
+        self._pending[interval][receiver].append(delivery)
+        network.metrics.record_transmission(physical_sender, receiver, delivery.wire_size())
+        if network.tracer is not None:
+            network.tracer.record(
+                "transmission",
+                phase=self.name,
+                interval=interval,
+                sender=physical_sender,
+                claimed=claimed_sender,
+                receiver=receiver,
+                payload=type(payload).__name__,
+                key_index=key_index,
+                verified=delivery.verified,
+            )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def inbox(self, receiver: int, interval: int) -> List[Delivery]:
+        """Frames delivered to ``receiver`` during ``interval``.
+
+        Readable once the interval has begun.  Returns all frames; honest
+        protocol logic must filter on ``Delivery.verified``.
+        """
+        if interval > self.current_interval:
+            raise NetworkError(
+                f"interval {interval} has not begun (current {self.current_interval})"
+            )
+        return list(self._pending.get(interval, {}).get(receiver, ()))
+
+    def verified_inbox(self, receiver: int, interval: int) -> List[Delivery]:
+        return [d for d in self.inbox(receiver, interval) if d.verified]
+
+
+class Network:
+    """Topology + keys + clocks + honest node state + metrics."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        registry: KeyRegistry,
+        config: ExperimentConfig,
+        seed: int = 0,
+        malicious_ids: Iterable[int] = (),
+    ) -> None:
+        from ..crypto.authenticated_broadcast import BroadcastAuthority
+
+        self.topology = topology
+        self.registry = registry
+        self.config = config
+        self.seed = seed
+        self.malicious_ids: FrozenSet[int] = frozenset(malicious_ids)
+        if BASE_STATION_ID in self.malicious_ids:
+            raise NetworkError("the base station is trusted by assumption (Section III)")
+        self.metrics = Metrics()
+        self.clocks = ClockAssignment(topology.node_ids, config.clock, seed)
+        self.authority = BroadcastAuthority(registry.pool.broadcast_chain_seed())
+        self.nodes: Dict[int, HonestNode] = {}
+        for node_id in topology.sensor_ids:
+            if node_id in self.malicious_ids:
+                continue
+            self.nodes[node_id] = HonestNode(
+                node_id=node_id,
+                material=registry.sensor_deployment_material(node_id),
+                clock=self.clocks[node_id],
+                broadcast_anchor=self.authority.anchor,
+            )
+
+        self._adversary_pool_indices: Optional[FrozenSet[int]] = None
+        self._phase_counter = 0
+        import random as _random
+
+        self.loss_rng = _random.Random(("link-loss", seed).__repr__())
+        # Optional structured-event recorder (see repro.tracing.Tracer).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def is_malicious(self, node_id: int) -> bool:
+        return node_id in self.malicious_ids
+
+    def adversary_pool_indices(self) -> FrozenSet[int]:
+        """Union of all compromised rings: the keys the adversary can use."""
+        if self._adversary_pool_indices is None:
+            indices: Set[int] = set()
+            for node_id in self.malicious_ids:
+                indices.update(self.registry.ring(node_id).indices)
+            self._adversary_pool_indices = frozenset(indices)
+        return self._adversary_pool_indices
+
+    def sender_possesses_key(self, sender: int, key_index: int) -> bool:
+        """Whether ``sender`` can compute MACs under pool key ``key_index``.
+
+        Honest sensors use only their own ring; the base station holds
+        everything; compromised sensors share the adversary's pooled loot
+        (the attack model lets malicious sensors collude freely).
+        """
+        if sender == BASE_STATION_ID:
+            return True
+        if sender in self.malicious_ids:
+            return key_index in self.adversary_pool_indices()
+        return key_index in self.registry.ring(sender)
+
+    @property
+    def honest_ids(self) -> List[int]:
+        """Honest, non-revoked sensors (the nodes that still participate)."""
+        revoked = self.registry.revoked_sensors
+        return [i for i in self.nodes if i not in revoked]
+
+    @property
+    def participating_ids(self) -> List[int]:
+        """All non-revoked sensors, malicious included."""
+        revoked = self.registry.revoked_sensors
+        return [
+            i
+            for i in self.topology.sensor_ids
+            if i not in revoked
+        ]
+
+    def honest_node(self, node_id: int) -> HonestNode:
+        if node_id not in self.nodes:
+            raise NetworkError(f"node {node_id} is not an honest sensor")
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Secure topology
+    # ------------------------------------------------------------------
+    def secure_neighbors(self, node_id: int) -> List[int]:
+        """Radio neighbours reachable over a currently usable link."""
+        return [
+            other
+            for other in self.topology.neighbors(node_id)
+            if self.registry.link_usable(node_id, other)
+        ]
+
+    def honest_secure_component(self) -> Set[int]:
+        """Nodes reachable from the base station over usable links
+        through honest, non-revoked sensors only."""
+        revoked = self.registry.revoked_sensors
+        allowed = {
+            i
+            for i in self.topology.node_ids
+            if i == BASE_STATION_ID or (i in self.nodes and i not in revoked)
+        }
+        secure = self.topology.subgraph(self.registry.link_usable)
+        return secure.connected_component(
+            exclude={i for i in self.topology.node_ids if i not in allowed}
+        )
+
+    def effective_depth_bound(self) -> int:
+        """Depth of the honest secure component (<= configured L when the
+        deployment assumption holds)."""
+        component = self.honest_secure_component()
+        secure = self.topology.subgraph(self.registry.link_usable)
+        depths = secure.depths(include=component)
+        sensor_depths = [d for node, d in depths.items() if node != BASE_STATION_ID]
+        if not sensor_depths:
+            raise NetworkError("honest secure component is empty")
+        return max(sensor_depths)
+
+    # ------------------------------------------------------------------
+    # Phases and broadcast
+    # ------------------------------------------------------------------
+    def new_phase(self, name: str, num_intervals: int) -> PhaseContext:
+        self._phase_counter += 1
+        return PhaseContext(self, name, num_intervals, sequence=self._phase_counter)
+
+    def receiver_accepts(
+        self,
+        receiver: int,
+        key_index: int,
+        mac: bytes,
+        claimed_sender: int,
+        phase_name: str,
+        interval: int,
+        payload: Payload,
+    ) -> bool:
+        """Whether an honest receiver's link layer accepts this frame."""
+        registry = self.registry
+        if registry.revocation.is_key_revoked(key_index):
+            return False
+        if receiver != BASE_STATION_ID:
+            if receiver not in self.nodes:
+                return False  # malicious or revoked receivers have no honest accept logic
+            if not self.nodes[receiver].holds_pool_key(key_index):
+                return False
+        key = registry.pool_key(key_index)
+        return verify_mac(
+            key, mac, "edge", claimed_sender, receiver, phase_name, interval,
+            payload.canonical_bytes(),
+        )
+
+    def authenticated_flood(self, *payload: Any) -> Tuple[Any, ...]:
+        """Flood an authenticated base-station message to all honest
+        sensors (the service of Ning et al. [20]).
+
+        Uses the real hash-chain construction: a wave-1 MAC'd message
+        followed by a wave-2 key disclosure, verified per sensor.  Costs
+        one flooding round.  Raises :class:`ProtocolError` if any honest
+        verifier rejects — that would mean our authority broke its own
+        chain, which the proofs (and tests) treat as impossible.
+        """
+        message = self.authority.sign(*payload)
+        disclosure = self.authority.disclose(message.index)
+        wire = message.wire_size() + disclosure.wire_size()
+        component = self.honest_secure_component()
+        for node_id, node in self.nodes.items():
+            if node_id not in component:
+                continue  # partitioned sensors cannot be reached (Section III)
+            node.verifier.receive_message(message)
+            accepted = node.verifier.receive_disclosure(disclosure)
+            if accepted != tuple(payload):
+                raise ProtocolError(
+                    f"honest sensor {node_id} rejected an authentic broadcast"
+                )
+            degree = len(self.secure_neighbors(node_id))
+            self.metrics.bytes_sent[node_id] += wire * degree
+            self.metrics.bytes_received[node_id] += wire
+        self.metrics.record_authenticated_broadcast()
+        if self.tracer is not None:
+            self.tracer.record(
+                "authenticated-broadcast",
+                label=str(payload[0]) if payload else "",
+                reached=len(component) - 1,
+            )
+        return tuple(payload)

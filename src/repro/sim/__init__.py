@@ -1,0 +1,41 @@
+"""Simulation kernel: discrete-event engine and loosely synchronized clocks.
+
+VMAT's proofs reason in *intervals* and *flooding rounds* over a network of
+sensors whose clocks agree only up to a bounded error ``Delta``.  This
+subpackage provides exactly those abstractions:
+
+* :class:`~repro.sim.engine.SimulationEngine` — a minimal, deterministic
+  discrete-event scheduler (a binary-heap event queue with stable
+  tie-breaking).
+* :class:`~repro.sim.clock.LocalClock` — a per-sensor clock with a fixed
+  offset bounded by ``Delta``, plus the guard-band arithmetic of Section
+  IV-A that lets a sensor transmit "inside interval k" such that every
+  honest receiver also observes interval k.
+* :class:`~repro.sim.engine.IntervalSchedule` — maps interval indices to
+  global times for a protocol phase.
+"""
+
+from .clock import ClockAssignment, LocalClock
+from .engine import Event, IntervalSchedule, SimulationEngine
+from .timeline import (
+    ExecutionTimeline,
+    PhasePlan,
+    execution_latency_seconds,
+    pinpointing_duration,
+    plan_execution,
+    simulate_slot_timing,
+)
+
+__all__ = [
+    "ClockAssignment",
+    "ExecutionTimeline",
+    "PhasePlan",
+    "execution_latency_seconds",
+    "pinpointing_duration",
+    "plan_execution",
+    "simulate_slot_timing",
+    "Event",
+    "IntervalSchedule",
+    "LocalClock",
+    "SimulationEngine",
+]

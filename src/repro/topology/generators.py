@@ -1,0 +1,135 @@
+"""Topology generators for experiments and tests.
+
+All generators are deterministic given their seed, and (where meaningful)
+retry until the produced radio graph is connected — the paper's guarantees
+only concern sensors in the base station's connected component, so a
+disconnected deployment would silently weaken every experiment.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..errors import TopologyError
+from .graph import BASE_STATION_ID, Topology
+
+
+def line_topology(num_nodes: int) -> Topology:
+    """A path ``0 - 1 - 2 - ... - (n-1)``: the worst case for depth ``L``."""
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return Topology(num_nodes, edges)
+
+
+def star_topology(num_nodes: int) -> Topology:
+    """Every sensor is a direct neighbour of the base station (depth 1)."""
+    edges = [(BASE_STATION_ID, i) for i in range(1, num_nodes)]
+    return Topology(num_nodes, edges)
+
+
+def grid_topology(rows: int, cols: int) -> Topology:
+    """A ``rows x cols`` grid with the base station at the corner (0, 0)."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs positive dimensions")
+    num_nodes = rows * cols
+    if num_nodes < 2:
+        raise TopologyError("grid needs at least two nodes")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    positions = {}
+    for r in range(rows):
+        for c in range(cols):
+            positions[node(r, c)] = (float(c), float(r))
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return Topology(num_nodes, edges, positions=positions)
+
+
+def tree_topology(num_nodes: int, branching: int = 2) -> Topology:
+    """A balanced ``branching``-ary tree rooted at the base station."""
+    if branching < 1:
+        raise TopologyError("branching factor must be >= 1")
+    edges = [(child, (child - 1) // branching) for child in range(1, num_nodes)]
+    return Topology(num_nodes, edges)
+
+
+def random_geometric_topology(
+    num_nodes: int,
+    radius: float,
+    seed: int,
+    area: float = 1.0,
+    max_attempts: int = 50,
+    base_station_center: bool = True,
+) -> Topology:
+    """Uniform random placement in an ``area x area`` square.
+
+    Two nodes are radio neighbours when within ``radius``.  Placement is
+    retried (with derived seeds) until the radio graph is connected; this
+    mirrors real deployments, which are engineered for connectivity.
+
+    Raises :class:`TopologyError` if no connected placement is found in
+    ``max_attempts`` tries — raise ``radius`` or lower ``num_nodes``.
+    """
+    if radius <= 0:
+        raise TopologyError("radius must be positive")
+    for attempt in range(max_attempts):
+        rng = random.Random(("geo", seed, attempt).__repr__())
+        positions = {}
+        for node in range(num_nodes):
+            if node == BASE_STATION_ID and base_station_center:
+                positions[node] = (area / 2, area / 2)
+            else:
+                positions[node] = (rng.uniform(0, area), rng.uniform(0, area))
+        topology = _connect_by_radius(num_nodes, positions, radius)
+        if topology.is_connected():
+            return topology
+    raise TopologyError(
+        f"no connected geometric placement after {max_attempts} attempts "
+        f"(n={num_nodes}, radius={radius}, area={area})"
+    )
+
+
+def _connect_by_radius(num_nodes: int, positions, radius: float) -> Topology:
+    """Build edges between all node pairs within ``radius``.
+
+    Uses a spatial hash grid so dense deployments stay close to O(n).
+    """
+    cell = radius
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for node, (x, y) in positions.items():
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(node)
+
+    edges = []
+    radius_sq = radius * radius
+    for (bx, by), members in buckets.items():
+        neighbor_cells = [
+            (bx + dx, by + dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+        ]
+        for node in members:
+            x1, y1 = positions[node]
+            for cell_key in neighbor_cells:
+                for other in buckets.get(cell_key, ()):
+                    if other <= node:
+                        continue
+                    x2, y2 = positions[other]
+                    if (x1 - x2) ** 2 + (y1 - y2) ** 2 <= radius_sq:
+                        edges.append((node, other))
+    return Topology(num_nodes, edges, positions=positions)
+
+
+def recommended_radius(num_nodes: int, area: float = 1.0, margin: float = 1.6) -> float:
+    """Radius giving high connectivity probability for uniform placement.
+
+    The connectivity threshold for random geometric graphs is
+    ``r* = sqrt(ln n / (pi n))`` (per unit square); ``margin`` scales it
+    comfortably above the threshold.
+    """
+    if num_nodes < 2:
+        raise TopologyError("need at least two nodes")
+    return margin * area * math.sqrt(math.log(num_nodes) / (math.pi * num_nodes))

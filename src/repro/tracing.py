@@ -1,0 +1,120 @@
+"""Structured execution traces.
+
+Attach a :class:`Tracer` to a network and every link transmission,
+authenticated broadcast, phase boundary, protocol outcome and revocation
+becomes a queryable event — the raw material for debugging a protocol
+run, auditing an attack scenario, or building visualizations.
+
+>>> from repro import build_deployment, VMATProtocol, MinQuery
+>>> from repro.tracing import Tracer
+>>> deployment = build_deployment(num_nodes=20, seed=1)
+>>> tracer = Tracer.attach(deployment.network)
+>>> readings = {i: float(i) for i in deployment.topology.sensor_ids}
+>>> _ = VMATProtocol(deployment.network).execute(MinQuery(), readings)
+>>> tracer.counts()["transmission"] > 0
+True
+
+Events carry only primitive fields, so ``to_jsonl`` round-trips through
+``json`` without custom encoders.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from .errors import ReproError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: a kind tag plus flat primitive fields."""
+
+    sequence: int
+    kind: str
+    fields: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"sequence": self.sequence, "kind": self.kind, **self.fields}
+
+
+class Tracer:
+    """Append-only event recorder with simple querying."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ReproError("tracer capacity must be positive when set")
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._sequence = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields: Any) -> None:
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(self._sequence, kind, fields))
+        self._sequence += 1
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts(self) -> Counter:
+        return Counter(e.kind for e in self._events)
+
+    def where(self, kind: Optional[str] = None, **matches: Any) -> List[TraceEvent]:
+        """Events whose kind and fields match all the given values."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if all(event.fields.get(k) == v for k, v in matches.items()):
+                result.append(event)
+        return result
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in self._events)
+
+    @staticmethod
+    def from_jsonl(text: str) -> List[Dict[str, Any]]:
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, network, capacity: Optional[int] = None) -> "Tracer":
+        """Create a tracer and install it on a network.
+
+        The network layer emits ``transmission`` and
+        ``authenticated-broadcast`` events; the protocol driver emits
+        ``execution-start`` / ``execution-end``; revocations appear as
+        ``revocation`` events via the registry log hook.
+        """
+        tracer = cls(capacity=capacity)
+        network.tracer = tracer
+        return tracer

@@ -1,0 +1,144 @@
+"""Synthetic sensing workloads for examples, benches and long sessions.
+
+The paper's motivating applications — battlefield monitoring, emergency
+response — query physical fields: how many sensors detect an intruder,
+what is the minimum temperature, the average radiation level.  This
+module generates deterministic, spatially-correlated readings over a
+deployment's geometry so scenarios exercise the protocol with realistic
+structure instead of arbitrary constants:
+
+* :class:`HotspotField` — one or more Gaussian hotspots (a fire, a
+  source, a vehicle) on a background level; readings fall off with
+  distance, optionally drifting over time.
+* :class:`GradientField` — a linear ramp across the deployment area
+  (temperature across a hillside).
+* :class:`UniformNoiseField` — iid readings in a range (the null
+  workload).
+
+Every field is deterministic given ``(seed, epoch)``; integer-valued
+variants feed SUM/COUNT queries whose readings must be integers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import ConfigError
+from .topology.graph import Topology
+
+
+def _positions_or_raise(topology: Topology) -> Dict[int, Tuple[float, float]]:
+    if not topology.positions:
+        raise ConfigError(
+            "this workload needs node positions; use a geometric/grid topology"
+        )
+    return topology.positions
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One Gaussian source: peak intensity decaying with distance."""
+
+    x: float
+    y: float
+    intensity: float
+    radius: float
+    drift: Tuple[float, float] = (0.0, 0.0)  # per-epoch movement
+
+    def value_at(self, x: float, y: float, epoch: int) -> float:
+        cx = self.x + self.drift[0] * epoch
+        cy = self.y + self.drift[1] * epoch
+        distance_sq = (x - cx) ** 2 + (y - cy) ** 2
+        return self.intensity * math.exp(-distance_sq / (2 * self.radius**2))
+
+
+class HotspotField:
+    """Background level plus Gaussian hotspots plus per-sensor noise."""
+
+    def __init__(
+        self,
+        hotspots: Sequence[Hotspot],
+        background: float = 20.0,
+        noise: float = 0.5,
+        seed: int = 0,
+        integer: bool = False,
+    ) -> None:
+        if noise < 0:
+            raise ConfigError("noise must be non-negative")
+        self.hotspots = list(hotspots)
+        self.background = background
+        self.noise = noise
+        self.seed = seed
+        self.integer = integer
+
+    def readings(self, topology: Topology, epoch: int = 0) -> Dict[int, float]:
+        positions = _positions_or_raise(topology)
+        readings: Dict[int, float] = {}
+        for sensor in topology.sensor_ids:
+            x, y = positions[sensor]
+            value = self.background
+            for hotspot in self.hotspots:
+                value += hotspot.value_at(x, y, epoch)
+            if self.noise:
+                rng = random.Random(("hotspot", self.seed, epoch, sensor).__repr__())
+                value += rng.uniform(-self.noise, self.noise)
+            readings[sensor] = float(round(value)) if self.integer else value
+        return readings
+
+
+class GradientField:
+    """A linear ramp: reading = low + (high - low) * projected position."""
+
+    def __init__(
+        self,
+        low: float = 0.0,
+        high: float = 100.0,
+        axis: str = "x",
+        area: float = 1.0,
+        integer: bool = False,
+    ) -> None:
+        if axis not in ("x", "y"):
+            raise ConfigError("axis must be 'x' or 'y'")
+        if area <= 0:
+            raise ConfigError("area must be positive")
+        self.low = low
+        self.high = high
+        self.axis = axis
+        self.area = area
+        self.integer = integer
+
+    def readings(self, topology: Topology, epoch: int = 0) -> Dict[int, float]:
+        positions = _positions_or_raise(topology)
+        readings: Dict[int, float] = {}
+        for sensor in topology.sensor_ids:
+            x, y = positions[sensor]
+            coordinate = x if self.axis == "x" else y
+            fraction = max(0.0, min(1.0, coordinate / self.area))
+            value = self.low + (self.high - self.low) * fraction
+            readings[sensor] = float(round(value)) if self.integer else value
+        return readings
+
+
+class UniformNoiseField:
+    """iid readings in ``[low, high]`` — the structure-free workload."""
+
+    def __init__(
+        self, low: float = 0.0, high: float = 100.0, seed: int = 0, integer: bool = False
+    ) -> None:
+        if high < low:
+            raise ConfigError("high must be >= low")
+        self.low = low
+        self.high = high
+        self.seed = seed
+        self.integer = integer
+
+    def readings(self, topology: Topology, epoch: int = 0) -> Dict[int, float]:
+        readings: Dict[int, float] = {}
+        for sensor in topology.sensor_ids:
+            rng = random.Random(("uniform", self.seed, epoch, sensor).__repr__())
+            value = rng.uniform(self.low, self.high)
+            readings[sensor] = float(round(value)) if self.integer else value
+        return readings

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Deployment fixtures use the downsized key configuration
+(:func:`repro.config.small_test_config`) so small topologies get
+near-certain edge-key coverage; paper-scale parameters are exercised in
+the analysis tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_deployment, small_test_config
+from repro.config import ExperimentConfig, KeyConfig, ProtocolConfig, RevocationConfig
+from repro.topology import grid_topology, line_topology, star_topology
+
+
+@pytest.fixture
+def config() -> ExperimentConfig:
+    return small_test_config()
+
+
+@pytest.fixture
+def deployment():
+    """A 30-sensor connected geometric deployment, no adversary."""
+    return build_deployment(num_nodes=30, seed=42)
+
+
+@pytest.fixture
+def line_deployment():
+    """A 10-node line (worst-case depth); depth bound covers it."""
+    return build_deployment(
+        config=small_test_config(depth_bound=12),
+        topology=line_topology(10),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def grid_deployment():
+    """A 5x5 grid (depth 8 from the corner base station)."""
+    return build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(5, 5),
+        seed=7,
+    )
+
+
+def make_attacked_deployment(
+    malicious_ids,
+    topology=None,
+    depth_bound: int = 12,
+    seed: int = 7,
+    theta: int | None = None,
+):
+    """Helper used across adversarial tests."""
+    config = small_test_config(depth_bound=depth_bound)
+    if theta is not None:
+        from dataclasses import replace
+
+        config = replace(config, revocation=RevocationConfig(theta=theta))
+    return build_deployment(
+        config=config,
+        topology=topology if topology is not None else line_topology(10),
+        malicious_ids=malicious_ids,
+        seed=seed,
+    )
+
+
+def default_readings(topology, minimum_at=None, base=100.0):
+    readings = {i: base + i for i in topology.sensor_ids}
+    if minimum_at is not None:
+        readings[minimum_at] = 1.0
+    return readings
+
+
+def assert_only_malicious_revoked(deployment, malicious_ids):
+    """The Lemma 4/5 safety invariant, asserted from omniscient state."""
+    adversary_keys = deployment.network.adversary_pool_indices()
+    for sensor in deployment.registry.revoked_sensors:
+        assert sensor in malicious_ids, f"honest sensor {sensor} was revoked"
+    for key in deployment.registry.revoked_keys:
+        assert key in adversary_keys, f"key {key} not held by the adversary was revoked"

@@ -1,0 +1,71 @@
+"""Adaptive Byzantine behaviour (the attack model's "arbitrarily and
+adaptively")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import AdaptiveStrategy, Adversary
+from repro.topology import line_topology
+
+from tests.conftest import assert_only_malicious_revoked
+
+
+def scenario(patience=2, escalate_after=3, seed=13):
+    dep = build_deployment(
+        config=small_test_config(depth_bound=12),
+        topology=line_topology(9),
+        malicious_ids={4},
+        seed=seed,
+    )
+    strategy = AdaptiveStrategy(patience=patience, escalate_after=escalate_after)
+    adv = Adversary(dep.network, strategy, seed=seed)
+    protocol = VMATProtocol(dep.network, adversary=adv)
+    readings = {i: 60.0 + i for i in dep.topology.sensor_ids}
+    readings[8] = 1.0
+    return dep, strategy, protocol, readings
+
+
+class TestAdaptiveEscalation:
+    def test_lurking_executions_are_clean(self):
+        dep, strategy, protocol, readings = scenario(patience=3)
+        for _ in range(3):
+            result = protocol.execute(MinQuery(), readings)
+            assert strategy.mode == "lurk"
+            assert result.produced_result
+            assert result.estimate == 1.0
+            assert not result.revocations
+
+    def test_escalation_through_modes(self):
+        dep, strategy, protocol, readings = scenario(patience=1, escalate_after=2)
+        modes_seen = []
+        for _ in range(40):
+            result = protocol.execute(MinQuery(), readings)
+            modes_seen.append(strategy.mode)
+            if result.produced_result and strategy.mode != "lurk":
+                break
+        assert "lurk" in modes_seen
+        assert "drop" in modes_seen
+        assert "junk" in modes_seen
+
+    def test_adaptivity_never_breaks_safety(self):
+        dep, strategy, protocol, readings = scenario(patience=1, escalate_after=2)
+        for _ in range(40):
+            result = protocol.execute(MinQuery(), readings)
+            assert_only_malicious_revoked(dep, {4})
+            if result.produced_result and strategy.mode == "junk":
+                break
+
+    def test_every_hostile_execution_pays(self):
+        dep, strategy, protocol, readings = scenario(patience=1, escalate_after=2)
+        hostile_results = []
+        for _ in range(40):
+            result = protocol.execute(MinQuery(), readings)
+            if strategy.mode != "lurk" and not result.produced_result:
+                hostile_results.append(result)
+            if len(hostile_results) >= 5:
+                break
+        assert hostile_results
+        for result in hostile_results:
+            assert result.revocations

@@ -1,0 +1,84 @@
+"""API surface hygiene: exports resolve, public things are documented.
+
+These meta-tests keep the library adoptable: ``__all__`` never lies,
+every public module/class/function carries a docstring, and the
+package imports cleanly without side effects beyond definition."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.adversary",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.crypto",
+    "repro.keys",
+    "repro.net",
+    "repro.sim",
+    "repro.topology",
+]
+
+
+def all_modules():
+    names = set(PACKAGES)
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                names.add(f"{package_name}.{info.name}")
+    # __main__ exists to be executed, not imported for its API.
+    names.discard("repro.__main__")
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_imports_and_is_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_dunder_all_resolves(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} should declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_exported_objects_are_documented(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        obj = getattr(package, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert inspect.getdoc(obj), f"{package_name}.{name} lacks a docstring"
+
+
+def test_top_level_quickstart_names():
+    # The README's imports must keep working.
+    for name in (
+        "build_deployment",
+        "VMATProtocol",
+        "MinQuery",
+        "MaxQuery",
+        "CountQuery",
+        "SumQuery",
+        "AverageQuery",
+        "ExecutionOutcome",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") >= 1

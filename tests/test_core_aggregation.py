@@ -1,0 +1,168 @@
+"""Aggregation phase (Section IV-B): minima, audit tuples, junk detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy, JunkMinimumStrategy
+from repro.core.aggregation import run_aggregation
+from repro.core.tree import form_tree
+from repro.crypto.mac import compute_mac
+from repro.net.message import ReadingMessage
+from repro.topology import line_topology
+
+NONCE = b"agg-test-nonce"
+
+
+def sign_all(deployment, readings, nonce=NONCE):
+    messages = {}
+    for node_id, node in deployment.network.nodes.items():
+        node.begin_execution(reading=readings[node_id])
+        node.query_values = [node.reading]
+        key = deployment.registry.sensor_key(node_id)
+        messages[node_id] = [
+            ReadingMessage(
+                sensor_id=node_id,
+                value=node.reading,
+                mac=compute_mac(key, node_id, 0, node.reading, nonce),
+            )
+        ]
+    return messages
+
+
+def run(deployment, adversary, readings, depth_bound, verify=lambda i, m: True):
+    own = sign_all(deployment, readings)
+    if adversary is not None:
+        mal = deployment.network.malicious_ids
+        mal_readings = {i: readings[i] for i in mal}
+        mal_msgs = {
+            i: [
+                ReadingMessage(
+                    sensor_id=i,
+                    value=readings[i],
+                    mac=compute_mac(
+                        deployment.registry.sensor_key(i), i, 0, readings[i], NONCE
+                    ),
+                )
+            ]
+            for i in mal
+        }
+        adversary.begin_execution(mal_readings, {i: [readings[i]] for i in mal}, mal_msgs)
+    form_tree(deployment.network, adversary, depth_bound)
+    return run_aggregation(
+        deployment.network, adversary, depth_bound, NONCE, own, 1, verify
+    )
+
+
+class TestHonestAggregation:
+    def test_minimum_reaches_base_station(self, line_deployment):
+        readings = {i: 100.0 + i for i in line_deployment.topology.sensor_ids}
+        readings[9] = 3.0
+        result = run(line_deployment, None, readings, 12)
+        assert result.minimum_values() == [3.0]
+        assert result.junk is None
+
+    def test_minimum_message_carries_true_origin(self, deployment):
+        readings = {i: 50.0 + i for i in deployment.topology.sensor_ids}
+        readings[17] = 2.0
+        result = run(deployment, None, readings, deployment.config.protocol.depth_bound)
+        assert result.minima[0].sensor_id == 17
+        assert result.carrying_delivery[0] is not None
+
+    def test_audit_records_on_path(self, line_deployment):
+        readings = {i: 100.0 + i for i in line_deployment.topology.sensor_ids}
+        readings[9] = 3.0
+        run(line_deployment, None, readings, 12)
+        # Every intermediate node forwarded the 3.0 value at its level.
+        for node_id in range(1, 9):
+            node = line_deployment.network.nodes[node_id]
+            assert any(
+                record.message.value == 3.0 for record in node.audit.agg_sends
+            ), f"node {node_id} missing forward record"
+            assert any(
+                record.message.value == 3.0 for record in node.audit.agg_receipts
+            ), f"node {node_id} missing receipt record"
+
+    def test_receipt_intervals_match_level_arithmetic(self, line_deployment):
+        L = 12
+        readings = {i: 100.0 + i for i in line_deployment.topology.sensor_ids}
+        run(line_deployment, None, readings, L)
+        for node_id, node in line_deployment.network.nodes.items():
+            for receipt in node.audit.agg_receipts:
+                assert receipt.interval == L - node.level
+
+    def test_ties_resolve_deterministically(self, line_deployment):
+        readings = {i: 5.0 for i in line_deployment.topology.sensor_ids}
+        result = run(line_deployment, None, readings, 12)
+        # lowest sensor id wins the tie by the message total order
+        assert result.minima[0].sensor_id == 1
+
+
+class TestAttackedAggregation:
+    def test_dropper_suppresses_minimum(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(8),
+            malicious_ids={3},
+            seed=4,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(), seed=4)
+        readings = {i: 100.0 + i for i in dep.topology.sensor_ids}
+        readings[7] = 1.0
+        result = run(dep, adv, readings, 12)
+        # The dropper forwarded its own reading instead of 1.0.
+        assert result.minimum_values()[0] > 1.0
+        assert result.junk is None  # dropping is silent, not spurious
+
+    def test_junk_detected_by_verifier(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(8),
+            malicious_ids={3},
+            seed=4,
+        )
+        adv = Adversary(dep.network, JunkMinimumStrategy(junk_value=-5.0), seed=4)
+        readings = {i: 100.0 + i for i in dep.topology.sensor_ids}
+
+        def verify(instance, message):
+            key = dep.registry.sensor_key(message.sensor_id)
+            from repro.crypto.mac import verify_mac
+
+            return verify_mac(key, message.mac, message.sensor_id, message.instance,
+                              message.value, NONCE)
+
+        result = run(dep, adv, readings, 12, verify=verify)
+        assert result.junk is not None
+        instance, message, delivery = result.junk
+        assert message.value == -5.0
+        # Honest ancestors forwarded the junk — the carrying delivery at
+        # the BS came from the innocent node 1.
+        assert delivery.sender == 1
+
+    def test_missing_own_messages_is_a_protocol_error(self, line_deployment):
+        from repro.errors import ProtocolError
+
+        readings = {i: 1.0 for i in line_deployment.topology.sensor_ids}
+        sign_all(line_deployment, readings)
+        form_tree(line_deployment.network, None, 12)
+        with pytest.raises(ProtocolError):
+            run_aggregation(
+                line_deployment.network, None, 12, NONCE, {}, 1, lambda i, m: True
+            )
+
+
+class TestEmptyNetworkEdgeCases:
+    def test_no_arrivals_yields_none_minimum(self):
+        # Malicious node adjacent to the BS swallows everything.
+        dep = build_deployment(
+            config=small_test_config(depth_bound=6),
+            topology=line_topology(4),
+            malicious_ids={1},
+            seed=4,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(), seed=4)
+        readings = {i: 10.0 for i in dep.topology.sensor_ids}
+        result = run(dep, adv, readings, 6)
+        # The dropper still forwards its OWN reading, so the BS hears it:
+        assert result.minimum_values() == [10.0]

@@ -1,0 +1,211 @@
+"""End-to-end protocol driver: Theorems 2 and 7, all query types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AverageQuery,
+    CountQuery,
+    ExecutionOutcome,
+    MinQuery,
+    SumQuery,
+    VMATProtocol,
+    build_deployment,
+    small_test_config,
+)
+from repro.adversary import (
+    Adversary,
+    DropMinimumStrategy,
+    HideAndVetoStrategy,
+    JunkMinimumStrategy,
+    PassiveStrategy,
+    SpuriousVetoStrategy,
+)
+from repro.errors import ProtocolError
+from repro.topology import grid_topology, line_topology
+
+from tests.conftest import assert_only_malicious_revoked
+
+
+class TestHonestExecutions:
+    def test_min_query_exact(self, deployment):
+        protocol = VMATProtocol(deployment.network)
+        readings = {i: 50.0 + i for i in deployment.topology.sensor_ids}
+        readings[11] = 4.5
+        result = protocol.execute(MinQuery(), readings)
+        assert result.outcome is ExecutionOutcome.RESULT
+        assert result.estimate == 4.5
+        assert result.num_vetoers == 0
+
+    def test_count_query_accurate(self, deployment):
+        protocol = VMATProtocol(deployment.network)
+        readings = {
+            i: 1.0 if i % 3 == 0 else 0.0 for i in deployment.topology.sensor_ids
+        }
+        query = CountQuery(predicate=lambda r: r > 0.5, num_synopses=150)
+        result = protocol.execute(query, readings)
+        truth = query.true_value(list(readings.values()))
+        assert result.produced_result
+        assert abs(result.estimate - truth) / truth < 0.35
+
+    def test_sum_query_accurate(self, deployment):
+        protocol = VMATProtocol(deployment.network)
+        readings = {i: float((i % 4) + 1) for i in deployment.topology.sensor_ids}
+        query = SumQuery(num_synopses=150)
+        result = protocol.execute(query, readings)
+        truth = sum(readings.values())
+        assert result.produced_result
+        assert abs(result.estimate - truth) / truth < 0.35
+
+    def test_average_query_accurate(self, deployment):
+        protocol = VMATProtocol(deployment.network)
+        readings = {i: float((i % 3) + 2) for i in deployment.topology.sensor_ids}
+        query = AverageQuery(num_synopses=150)
+        result = protocol.execute(query, readings)
+        truth = query.true_value(list(readings.values()))
+        assert result.produced_result
+        assert abs(result.estimate - truth) / truth < 0.35
+
+    def test_repeat_executions_use_fresh_nonces(self, deployment):
+        protocol = VMATProtocol(deployment.network)
+        readings = {i: 10.0 for i in deployment.topology.sensor_ids}
+        protocol.execute(MinQuery(), readings)
+        protocol.execute(MinQuery(), readings)
+        assert protocol.nonces.issued_count >= 2
+
+    def test_happy_path_is_constant_flooding_rounds(self, deployment):
+        protocol = VMATProtocol(deployment.network)
+        readings = {i: 10.0 + i for i in deployment.topology.sensor_ids}
+        result = protocol.execute(MinQuery(), readings)
+        # query announce + tree announce+flood + aggregation + conf
+        # announce+flood: a constant independent of n.
+        assert result.flooding_rounds <= 6.0
+
+
+class TestTheorem2:
+    """Correctness of any returned result: y <= w <= x, where x is the
+    honest minimum and y the overall minimum."""
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            PassiveStrategy(),
+            DropMinimumStrategy(predtest="deny"),
+            HideAndVetoStrategy(),
+        ],
+    )
+    def test_returned_results_are_correct(self, strategy):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=10),
+            topology=grid_topology(4, 4),
+            malicious_ids={6},
+            seed=13,
+        )
+        adv = Adversary(dep.network, strategy, seed=13)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 50.0 + i for i in dep.topology.sensor_ids}
+        readings[15] = 7.0
+        result = protocol.execute(MinQuery(), readings)
+        if result.produced_result:
+            assert result.overall_true_value <= result.estimate <= result.honest_true_value
+
+    def test_passive_adversary_changes_nothing(self):
+        dep = build_deployment(num_nodes=25, seed=3, malicious_ids={4, 9})
+        adv = Adversary(dep.network, PassiveStrategy(), seed=3)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 30.0 + i for i in dep.topology.sensor_ids}
+        result = protocol.execute(MinQuery(), readings)
+        assert result.produced_result
+        assert result.estimate == min(readings.values())
+        assert not result.revocations
+
+
+class TestTheorem7Sessions:
+    def test_persistent_dropper_eventually_neutralized(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=10),
+            topology=grid_topology(4, 4),
+            malicious_ids={5},
+            seed=21,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=21)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 50.0 + i for i in dep.topology.sensor_ids}
+        readings[15] = 2.0
+        session = protocol.run_session(MinQuery(), readings, max_executions=120)
+        assert session.final_estimate is not None
+        assert_only_malicious_revoked(dep, {5})
+        # every non-final execution made progress
+        for execution in session.executions[:-1]:
+            assert execution.revocations
+
+    def test_truthful_attacker_neutralized_in_one_round(self):
+        # Both neighbours of the far corner (15) are droppers, so the
+        # minimum cannot route around them: every pre-result execution
+        # must revoke a whole sensor (truthful droppers confess under
+        # Figure 5 and lose their ring).
+        dep = build_deployment(
+            config=small_test_config(depth_bound=10),
+            topology=grid_topology(4, 4),
+            malicious_ids={11, 14},
+            seed=21,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="truthful"), seed=21)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 50.0 + i for i in dep.topology.sensor_ids}
+        readings[15] = 2.0
+        session = protocol.run_session(MinQuery(), readings, max_executions=10)
+        assert dep.registry.revoked_sensors
+        assert dep.registry.revoked_sensors <= {11, 14}
+        assert session.executions_until_result <= 3
+        assert_only_malicious_revoked(dep, {11, 14})
+
+    def test_junk_injector_session(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=10),
+            topology=grid_topology(4, 4),
+            malicious_ids={6},
+            seed=2,
+        )
+        adv = Adversary(dep.network, JunkMinimumStrategy(), seed=2)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 50.0 + i for i in dep.topology.sensor_ids}
+        session = protocol.run_session(MinQuery(), readings, max_executions=120)
+        assert session.final_estimate is not None
+        assert_only_malicious_revoked(dep, {6})
+
+    def test_spurious_vetoer_session(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=10),
+            topology=grid_topology(4, 4),
+            malicious_ids={10},
+            seed=5,
+        )
+        adv = Adversary(dep.network, SpuriousVetoStrategy(), seed=5)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 50.0 + i for i in dep.topology.sensor_ids}
+        session = protocol.run_session(MinQuery(), readings, max_executions=150)
+        assert session.final_estimate is not None
+        assert_only_malicious_revoked(dep, {10})
+
+    def test_session_guard_detects_stalls(self, deployment):
+        protocol = VMATProtocol(deployment.network)
+        readings = {i: 10.0 for i in deployment.topology.sensor_ids}
+        # max_executions=0 never runs -> guard raises
+        with pytest.raises(ProtocolError):
+            protocol.run_session(MinQuery(), readings, max_executions=0)
+
+
+class TestRevokedSensorsExcluded:
+    def test_revoked_sensor_cannot_veto_or_contribute(self):
+        dep = build_deployment(num_nodes=20, seed=8)
+        protocol = VMATProtocol(dep.network)
+        readings = {i: 50.0 + i for i in dep.topology.sensor_ids}
+        readings[7] = 1.0
+        dep.registry.revoke_sensor(7, reason="operator decision")
+        result = protocol.execute(MinQuery(), readings)
+        assert result.produced_result
+        # 7's reading is excluded from both the result and ground truth.
+        assert result.estimate > 1.0
+        assert result.honest_true_value > 1.0

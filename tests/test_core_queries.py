@@ -1,0 +1,181 @@
+"""Query types and (ε, δ) sizing (Sections III, VIII)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.queries import (
+    AverageQuery,
+    CountQuery,
+    MinQuery,
+    SumQuery,
+    required_synopses,
+)
+from repro.core.synopses import ABSENT, estimate_sum, synopsis_value
+from repro.errors import ConfigError
+
+NONCE = b"query-test-nonce"
+
+
+class TestRequiredSynopses:
+    def test_monotone_in_epsilon(self):
+        assert required_synopses(0.05, 0.1) > required_synopses(0.1, 0.1)
+
+    def test_monotone_in_delta(self):
+        assert required_synopses(0.1, 0.01) > required_synopses(0.1, 0.1)
+
+    def test_paper_scale(self):
+        # Around the paper's m = 100 for a ~10% error target.
+        m = required_synopses(0.3, 0.05)
+        assert 50 <= m <= 200
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            required_synopses(0.0, 0.1)
+        with pytest.raises(ConfigError):
+            required_synopses(0.1, 1.5)
+
+
+class TestMinQuery:
+    def test_one_instance_raw_reading(self):
+        query = MinQuery()
+        assert query.num_instances == 1
+        assert query.instance_values(3, 17.5, NONCE) == [17.5]
+
+    def test_estimate_is_identity(self):
+        assert MinQuery().estimate([4.2]) == 4.2
+
+    def test_true_value(self):
+        assert MinQuery().true_value([3.0, 1.0, 2.0]) == 1.0
+        assert MinQuery().true_value([]) == float("inf")
+
+    def test_no_synopsis_domain(self):
+        assert MinQuery().instance_reading_domain(0) is None
+
+
+class TestSumQuery:
+    def test_instances_are_synopses(self):
+        query = SumQuery(num_synopses=5)
+        values = query.instance_values(3, 7, NONCE)
+        assert values == [synopsis_value(NONCE, 3, i, 7) for i in range(5)]
+
+    def test_zero_reading_contributes_nothing(self):
+        values = SumQuery(num_synopses=3).instance_values(3, 0, NONCE)
+        assert values == [ABSENT] * 3
+
+    def test_rejects_non_integer_reading(self):
+        with pytest.raises(ConfigError):
+            SumQuery(num_synopses=3).instance_values(3, 2.5, NONCE)
+        with pytest.raises(ConfigError):
+            SumQuery(num_synopses=3).instance_values(3, -1, NONCE)
+
+    def test_estimate_matches_estimator(self):
+        minima = [0.01, 0.02, 0.03]
+        assert SumQuery(num_synopses=3).estimate(minima) == estimate_sum(minima)
+
+    def test_true_value(self):
+        assert SumQuery().true_value([1, 2, 3]) == 6.0
+
+    def test_end_to_end_accuracy(self):
+        """Simulate 50 sensors' synopses through pure query machinery."""
+        query = SumQuery(num_synopses=300)
+        readings = {i: (i % 7) + 1 for i in range(1, 51)}
+        minima = [
+            min(query.instance_values(i, readings[i], NONCE)[k] for i in readings)
+            for k in range(300)
+        ]
+        truth = sum(readings.values())
+        assert abs(query.estimate(minima) - truth) / truth < 0.25
+
+
+class TestCountQuery:
+    def test_predicate_gates_contribution(self):
+        query = CountQuery(predicate=lambda r: r > 10, num_synopses=4)
+        assert query.instance_values(3, 5.0, NONCE) == [ABSENT] * 4
+        contributing = query.instance_values(3, 15.0, NONCE)
+        assert all(v != ABSENT for v in contributing)
+
+    def test_contributors_use_indicator_reading(self):
+        query = CountQuery(num_synopses=4)
+        assert query.instance_values(3, 99.0, NONCE) == [
+            synopsis_value(NONCE, 3, i, 1) for i in range(4)
+        ]
+
+    def test_true_value_counts_predicate(self):
+        query = CountQuery(predicate=lambda r: r >= 2)
+        assert query.true_value([1, 2, 3]) == 2.0
+
+    def test_domain_is_indicator_only(self):
+        assert CountQuery().instance_reading_domain(0) == (1, 1)
+
+
+class TestAverageQuery:
+    def test_double_instances(self):
+        query = AverageQuery(num_synopses=6)
+        assert query.num_instances == 12
+
+    def test_split_domains(self):
+        query = AverageQuery(num_synopses=6)
+        assert query.instance_reading_domain(0) == "config"
+        assert query.instance_reading_domain(6) == (1, 1)
+
+    def test_true_value(self):
+        query = AverageQuery(predicate=lambda r: r > 0)
+        assert query.true_value([2, 4, 0]) == 3.0
+        assert query.true_value([]) == 0.0
+
+    def test_end_to_end_average(self):
+        query = AverageQuery(num_synopses=300)
+        readings = {i: (i % 5) + 1 for i in range(1, 41)}
+        all_values = {i: query.instance_values(i, readings[i], NONCE) for i in readings}
+        minima = [
+            min(all_values[i][k] for i in readings) for k in range(600)
+        ]
+        truth = sum(readings.values()) / len(readings)
+        assert abs(query.estimate(minima) - truth) / truth < 0.3
+
+
+class TestMaxQuery:
+    def test_negation_round_trip(self):
+        from repro.core.queries import MaxQuery
+
+        query = MaxQuery()
+        assert query.instance_values(3, 17.0, NONCE) == [-17.0]
+        assert query.estimate([-17.0]) == 17.0
+
+    def test_true_value(self):
+        from repro.core.queries import MaxQuery
+
+        assert MaxQuery().true_value([1.0, 9.0, 4.0]) == 9.0
+        assert MaxQuery().true_value([]) == float("-inf")
+
+    def test_end_to_end_exact(self):
+        from repro import MaxQuery, VMATProtocol, build_deployment
+
+        dep = build_deployment(num_nodes=25, seed=6)
+        protocol = VMATProtocol(dep.network)
+        readings = {i: float(i * 3 % 50) for i in dep.topology.sensor_ids}
+        result = protocol.execute(MaxQuery(), readings)
+        assert result.produced_result
+        assert result.estimate == max(readings.values())
+
+    def test_dropping_the_maximum_triggers_pinpointing(self):
+        from repro import ExecutionOutcome, MaxQuery, VMATProtocol, build_deployment, small_test_config
+        from repro.adversary import Adversary, DropMinimumStrategy
+        from repro.topology import line_topology
+
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(8),
+            malicious_ids={3},
+            seed=6,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=6)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        readings[7] = 10_000.0  # the maximum, behind the dropper
+        result = protocol.execute(MaxQuery(), readings)
+        assert result.outcome is ExecutionOutcome.VETO_PINPOINT
+        assert result.revocations

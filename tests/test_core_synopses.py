@@ -1,0 +1,132 @@
+"""Exponential synopses (Section VIII): determinism, inversion,
+estimator statistics."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.synopses import (
+    ABSENT,
+    estimate_sum,
+    expected_relative_error,
+    exponential_draw,
+    invert_synopsis,
+    relative_error,
+    synopsis_value,
+    verify_synopsis,
+)
+
+NONCE = b"synopsis-nonce"
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert synopsis_value(NONCE, 3, 0, 7) == synopsis_value(NONCE, 3, 0, 7)
+
+    def test_distinct_across_instances_and_sensors(self):
+        values = {
+            synopsis_value(NONCE, sensor, instance, 5)
+            for sensor in range(5)
+            for instance in range(5)
+        }
+        assert len(values) == 25
+
+    def test_scales_inversely_with_reading(self):
+        a1 = synopsis_value(NONCE, 1, 0, 1)
+        a10 = synopsis_value(NONCE, 1, 0, 10)
+        assert a10 == pytest.approx(a1 / 10)
+
+    def test_nonpositive_reading_is_absent(self):
+        assert synopsis_value(NONCE, 1, 0, 0) == ABSENT
+        assert synopsis_value(NONCE, 1, 0, -3) == ABSENT
+
+    def test_exponential_draw_positive(self):
+        draws = [exponential_draw(NONCE, i, 0) for i in range(500)]
+        assert all(d > 0 for d in draws)
+        # mean of Exp(1) is 1
+        assert 0.85 < sum(draws) / len(draws) < 1.15
+
+
+class TestInversionAndVerification:
+    @given(reading=st.integers(1, 10_000), sensor=st.integers(1, 1000), instance=st.integers(0, 99))
+    def test_inversion_round_trip(self, reading, sensor, instance):
+        value = synopsis_value(NONCE, sensor, instance, reading)
+        assert invert_synopsis(NONCE, sensor, instance, value, 1, 10_000) == reading
+
+    def test_verify_accepts_genuine(self):
+        value = synopsis_value(NONCE, 7, 3, 42)
+        assert verify_synopsis(NONCE, 7, 3, value, 1, 10_000)
+
+    def test_verify_accepts_absent(self):
+        assert verify_synopsis(NONCE, 7, 3, ABSENT, 1, 10_000)
+
+    def test_verify_rejects_fabricated_small_value(self):
+        # The choking-style attack on synopses: claim an absurdly small
+        # value to drag the minimum down.  No legal reading produces it.
+        assert not verify_synopsis(NONCE, 7, 3, 1e-12, 1, 10_000)
+
+    def test_verify_rejects_value_for_out_of_domain_reading(self):
+        value = synopsis_value(NONCE, 7, 3, 42)
+        assert not verify_synopsis(NONCE, 7, 3, value, 1, 10)  # 42 outside [1,10]
+
+    def test_verify_rejects_wrong_sensor(self):
+        value = synopsis_value(NONCE, 7, 3, 42)
+        assert not verify_synopsis(NONCE, 8, 3, value, 1, 10_000)
+
+    def test_verify_rejects_nonpositive_and_nan(self):
+        assert not verify_synopsis(NONCE, 7, 3, -1.0, 1, 10_000)
+        assert not verify_synopsis(NONCE, 7, 3, float("nan"), 1, 10_000)
+
+    def test_count_domain_restriction_blocks_inflation(self):
+        """A count synopsis must decode to reading 1; a synopsis for a
+        large reading (tiny value => huge count estimate) is rejected."""
+        cheat = synopsis_value(NONCE, 7, 3, 5_000)
+        assert not verify_synopsis(NONCE, 7, 3, cheat, 1, 1)
+        honest = synopsis_value(NONCE, 7, 3, 1)
+        assert verify_synopsis(NONCE, 7, 3, honest, 1, 1)
+
+
+class TestEstimator:
+    def test_exact_on_expectation_structure(self):
+        # sum of m Exp(S) draws has mean m/S, so the estimator inverts it.
+        rng = random.Random(1)
+        m, s = 400, 57
+        minima = [rng.expovariate(s) for _ in range(m)]
+        estimate = estimate_sum(minima)
+        assert relative_error(estimate, s) < 0.2
+
+    def test_all_absent_estimates_zero(self):
+        assert estimate_sum([ABSENT, ABSENT]) == 0.0
+
+    def test_mixed_absent_uses_finite_instances(self):
+        rng = random.Random(2)
+        minima = [rng.expovariate(100) for _ in range(200)] + [ABSENT] * 10
+        assert relative_error(estimate_sum(minima), 100) < 0.3
+
+    def test_empty_minima_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sum([])
+
+    def test_relative_error_requires_positive_truth(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_expected_relative_error_paper_value(self):
+        # m = 100 -> expected |error| ~ 8%, "below 10%" as in Section IX.
+        assert 0.05 < expected_relative_error(100) < 0.10
+
+    def test_expected_relative_error_shrinks_with_m(self):
+        assert expected_relative_error(400) < expected_relative_error(100)
+
+    @settings(max_examples=10, deadline=None)
+    @given(true_sum=st.integers(10, 5_000), seed=st.integers(0, 100))
+    def test_estimator_concentration_property(self, true_sum, seed):
+        rng = random.Random(seed)
+        m = 200
+        minima = [rng.expovariate(true_sum) for _ in range(m)]
+        # 5-sigma bound on the Gamma(m, S) concentration.
+        assert relative_error(estimate_sum(minima), true_sum) < 5 / math.sqrt(m) + 0.05

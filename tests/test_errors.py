@@ -1,0 +1,67 @@
+"""Exception hierarchy: one base, meaningful subtyping."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    AuditTrailError,
+    BroadcastAuthError,
+    ConfigError,
+    CryptoError,
+    KeyManagementError,
+    MacVerificationError,
+    NetworkError,
+    PinpointError,
+    ProtocolError,
+    ReproError,
+    RevocationError,
+    SimulationError,
+    TopologyError,
+)
+
+
+def all_error_classes():
+    return [
+        obj
+        for _name, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, Exception)
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, ReproError), cls.__name__
+
+    def test_crypto_subtree(self):
+        assert issubclass(MacVerificationError, CryptoError)
+        assert issubclass(BroadcastAuthError, CryptoError)
+
+    def test_protocol_subtree(self):
+        assert issubclass(AuditTrailError, ProtocolError)
+        assert issubclass(PinpointError, ProtocolError)
+
+    def test_key_subtree(self):
+        assert issubclass(RevocationError, KeyManagementError)
+
+    def test_siblings_are_distinct(self):
+        assert not issubclass(ConfigError, TopologyError)
+        assert not issubclass(NetworkError, SimulationError)
+
+    def test_every_error_is_documented(self):
+        for cls in all_error_classes():
+            assert cls.__doc__ and cls.__doc__.strip(), cls.__name__
+
+    def test_single_except_catches_package_failures(self):
+        """The usability promise of the hierarchy: one except clause."""
+        from repro.config import ClockConfig
+        from repro.topology import line_topology
+
+        with pytest.raises(ReproError):
+            ClockConfig(interval_length=0.0)
+        with pytest.raises(ReproError):
+            line_topology(5).neighbors(99)

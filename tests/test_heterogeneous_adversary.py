@@ -1,0 +1,76 @@
+"""Heterogeneous (per-node) adversaries: different playbooks at once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import (
+    Adversary,
+    DropMinimumStrategy,
+    PerNodeStrategy,
+    SpuriousVetoStrategy,
+)
+from repro.topology import grid_topology
+
+from tests.conftest import assert_only_malicious_revoked
+
+
+def combined_scenario(seed=14):
+    """A dropper fencing the far corner plus a choker at the base
+    station's elbow — the drop creates the veto, the choker races it."""
+    dep = build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(4, 4),
+        malicious_ids={1, 11, 14},
+        seed=seed,
+    )
+    strategy = PerNodeStrategy(
+        {
+            11: DropMinimumStrategy(predtest="deny"),
+            14: DropMinimumStrategy(predtest="deny"),
+            1: SpuriousVetoStrategy(),
+        }
+    )
+    adv = Adversary(dep.network, strategy, seed=seed)
+    protocol = VMATProtocol(dep.network, adversary=adv)
+    readings = {i: 60.0 + i for i in dep.topology.sensor_ids}
+    readings[15] = 1.0
+    return dep, protocol, readings
+
+
+class TestPerNodeStrategy:
+    def test_unassigned_nodes_default_to_passive(self):
+        dep = build_deployment(num_nodes=20, seed=14, malicious_ids={3, 7})
+        strategy = PerNodeStrategy({3: DropMinimumStrategy()})
+        adv = Adversary(dep.network, strategy, seed=14)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 60.0 + i for i in dep.topology.sensor_ids}
+        result = protocol.execute(MinQuery(), readings)
+        # Node 7 mimicked honestly; whatever node 3 did, safety holds.
+        assert_only_malicious_revoked(dep, {3, 7})
+        assert result.produced_result or result.revocations
+
+    def test_combined_attack_still_pays_every_round(self):
+        dep, protocol, readings = combined_scenario()
+        result = protocol.execute(MinQuery(), readings)
+        # The drop guarantees SOME veto (valid or the choker's junk);
+        # either path revokes adversary material.
+        assert result.outcome in (
+            ExecutionOutcome.VETO_PINPOINT,
+            ExecutionOutcome.JUNK_CONFIRMATION_PINPOINT,
+        )
+        assert result.revocations
+        assert_only_malicious_revoked(dep, {1, 11, 14})
+
+    def test_combined_attack_session_terminates(self):
+        dep, protocol, readings = combined_scenario()
+        session = protocol.run_session(MinQuery(), readings, max_executions=400)
+        assert session.final_estimate is not None
+        assert_only_malicious_revoked(dep, {1, 11, 14})
+
+    def test_shared_strategy_instance_bound_once(self):
+        dep = build_deployment(num_nodes=20, seed=14, malicious_ids={3, 7})
+        shared = DropMinimumStrategy()
+        strategy = PerNodeStrategy({3: shared, 7: shared})
+        assert strategy._all_strategies().count(shared) == 1

@@ -1,0 +1,82 @@
+"""Latency analysis (seconds, from rounds + interval structure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.analysis import (
+    execution_latency,
+    session_latency,
+    theta_neutralization_sweep,
+)
+from repro.config import ClockConfig
+from repro.errors import ConfigError
+from repro.topology import line_topology
+
+CLOCK = ClockConfig(interval_length=1.0)
+
+
+class TestExecutionLatency:
+    def test_happy_path_latency(self):
+        dep = build_deployment(num_nodes=15, seed=2)
+        protocol = VMATProtocol(dep.network)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        result = protocol.execute(MinQuery(), readings)
+        latency = execution_latency(result, dep.config.protocol.depth_bound, CLOCK)
+        assert latency.pinpointing_seconds == 0.0
+        assert latency.total_seconds == pytest.approx(
+            6 * dep.config.protocol.depth_bound
+        )
+
+    def test_attacked_execution_adds_pinpointing_time(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(8),
+            malicious_ids={3},
+            seed=2,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=2)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        readings[7] = 1.0
+        result = protocol.execute(MinQuery(), readings)
+        latency = execution_latency(result, 12, CLOCK)
+        assert latency.pinpointing_seconds == pytest.approx(
+            result.pinpoint.tests_run * 2 * 12
+        )
+        assert latency.total_seconds > latency.happy_path_seconds
+
+    def test_session_latency_sums_executions(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(8),
+            malicious_ids={3},
+            seed=2,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=2)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        readings[7] = 1.0
+        session = protocol.run_session(MinQuery(), readings, max_executions=60)
+        total = session_latency(session, 12, CLOCK)
+        parts = [execution_latency(e, 12, CLOCK) for e in session.executions]
+        assert total.total_seconds == pytest.approx(
+            sum(p.total_seconds for p in parts)
+        )
+
+
+class TestThetaSweep:
+    def test_smaller_theta_is_faster(self):
+        points = theta_neutralization_sweep([3, 12], clock=CLOCK)
+        assert points[0].seconds < points[1].seconds
+        assert points[0].executions < points[1].executions
+
+    def test_all_points_neutralize(self):
+        points = theta_neutralization_sweep([3, 6], clock=CLOCK)
+        assert all(p.attacker_fully_revoked for p in points)
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ConfigError):
+            theta_neutralization_sweep([0])

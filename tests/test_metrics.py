@@ -1,0 +1,55 @@
+"""Metrics accounting."""
+
+from __future__ import annotations
+
+from repro.metrics import Metrics
+
+
+class TestMetrics:
+    def test_transmission_recording(self):
+        metrics = Metrics()
+        metrics.record_transmission(1, 2, 100)
+        metrics.record_transmission(2, 1, 50)
+        assert metrics.bytes_sent[1] == 100
+        assert metrics.bytes_received[1] == 50
+        assert metrics.node_communication(1) == 150
+        assert metrics.total_bytes() == 150
+        assert metrics.total_messages() == 2
+
+    def test_flooding_round_log(self):
+        metrics = Metrics()
+        metrics.record_flooding_rounds(1.0, "tree")
+        metrics.record_authenticated_broadcast()
+        assert metrics.flooding_rounds == 2.0
+        assert metrics.authenticated_broadcasts == 1
+        assert [label for label, _ in metrics.round_log] == [
+            "tree", "authenticated-broadcast",
+        ]
+
+    def test_predicate_test_costs_two_rounds(self):
+        metrics = Metrics()
+        metrics.record_predicate_test()
+        assert metrics.flooding_rounds == 2.0
+        assert metrics.predicate_tests == 1
+
+    def test_max_node_communication(self):
+        metrics = Metrics()
+        metrics.record_transmission(1, 2, 10)
+        metrics.record_transmission(3, 2, 99)
+        assert metrics.max_node_communication([1, 2, 3]) == 109  # node 2 rx both
+        assert metrics.max_node_communication([]) == 0
+
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.record_transmission(1, 2, 10)
+        b.record_transmission(1, 2, 5)
+        b.record_flooding_rounds(3.0, "x")
+        b.predicate_tests = 2
+        a.merge(b)
+        assert a.bytes_sent[1] == 15
+        assert a.flooding_rounds == 3.0
+        assert a.predicate_tests == 2
+
+    def test_summary_keys(self):
+        summary = Metrics().summary()
+        assert {"total_bytes", "flooding_rounds", "predicate_tests"} <= set(summary)

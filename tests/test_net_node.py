@@ -1,0 +1,123 @@
+"""Audit store queries — the local half of every pinpointing predicate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.message import ReadingMessage, VetoMessage, message_digest
+from repro.net.node import (
+    AggReceiptRecord,
+    AggSendRecord,
+    AuditStore,
+    ConfReceiptRecord,
+    ConfSendRecord,
+)
+
+
+def reading(value, instance=0, sensor_id=9):
+    return ReadingMessage(sensor_id=sensor_id, value=value, mac=b"m" * 8, instance=instance)
+
+
+def veto(value=1.0, level=3, sensor_id=9):
+    return VetoMessage(sensor_id=sensor_id, value=value, level=level, mac=b"m" * 8)
+
+
+@pytest.fixture
+def store():
+    s = AuditStore()
+    s.agg_sends.append(AggSendRecord(level=4, message=reading(5.0), out_edge_index=17, to=2))
+    s.agg_receipts.append(
+        AggReceiptRecord(interval=6, message=reading(5.0), in_edge_index=23, frm=7)
+    )
+    s.conf_sends.append(ConfSendRecord(interval=2, message=veto(), out_edge_index=31, to=3))
+    s.conf_receipts.append(
+        ConfReceiptRecord(interval=1, message=veto(), in_edge_index=29, frm=5)
+    )
+    return s
+
+
+class TestAggForwardedValue:
+    def test_matches_on_equal_bound(self, store):
+        assert store.agg_forwarded_value(level=4, value_bound=5.0, key_low=0, key_high=99)
+
+    def test_matches_on_looser_bound(self, store):
+        assert store.agg_forwarded_value(4, 100.0, 0, 99)
+
+    def test_rejects_tighter_bound(self, store):
+        assert not store.agg_forwarded_value(4, 4.9, 0, 99)
+
+    def test_rejects_wrong_level(self, store):
+        assert not store.agg_forwarded_value(3, 5.0, 0, 99)
+
+    def test_key_range_inclusive(self, store):
+        assert store.agg_forwarded_value(4, 5.0, 17, 17)
+        assert not store.agg_forwarded_value(4, 5.0, 18, 99)
+        assert not store.agg_forwarded_value(4, 5.0, 0, 16)
+
+    def test_instance_filter(self, store):
+        assert not store.agg_forwarded_value(4, 5.0, 0, 99, instance=1)
+
+
+class TestAggReceivedValue:
+    def test_matches(self, store):
+        assert store.agg_received_value(interval=6, value_bound=5.0, in_edge_index=23)
+
+    def test_rejects_other_edge_key(self, store):
+        assert not store.agg_received_value(6, 5.0, 24)
+
+    def test_rejects_other_interval(self, store):
+        assert not store.agg_received_value(5, 5.0, 23)
+
+
+class TestExactQueries:
+    def test_agg_sent_exact(self, store):
+        digest = message_digest(reading(5.0))
+        assert store.agg_sent_exact(digest, level=4, out_edge_index=17)
+        assert not store.agg_sent_exact(digest, level=5, out_edge_index=17)
+        assert not store.agg_sent_exact(message_digest(reading(6.0)), 4, 17)
+
+    def test_agg_received_exact(self, store):
+        digest = message_digest(reading(5.0))
+        assert store.agg_received_exact(digest, interval=6, key_low=0, key_high=99)
+        assert not store.agg_received_exact(digest, 6, 24, 99)
+
+    def test_conf_sent_exact(self, store):
+        digest = message_digest(veto())
+        assert store.conf_sent_exact(digest, interval=2, out_edge_index=31)
+        assert not store.conf_sent_exact(digest, 1, 31)
+
+    def test_conf_received_exact(self, store):
+        digest = message_digest(veto())
+        assert store.conf_received_exact(digest, interval=1, key_low=29, key_high=29)
+        assert not store.conf_received_exact(digest, 1, 30, 99)
+
+
+class TestLifecycle:
+    def test_clear_empties_everything(self, store):
+        store.clear()
+        assert not store.agg_sends and not store.agg_receipts
+        assert not store.conf_sends and not store.conf_receipts
+
+    def test_begin_execution_resets_node_state(self, deployment):
+        node = deployment.network.nodes[1]
+        node.level = 3
+        node.parents = [0]
+        node.forwarded_veto = True
+        node.audit.agg_sends.append(
+            AggSendRecord(level=3, message=reading(1.0), out_edge_index=1, to=0)
+        )
+        node.begin_execution(reading=7.5)
+        assert node.reading == 7.5
+        assert node.level is None and node.parents == []
+        assert not node.forwarded_veto
+        assert not node.audit.agg_sends
+        assert node.query_values is None
+
+    def test_has_valid_level(self, deployment):
+        node = deployment.network.nodes[1]
+        node.level = None
+        assert not node.has_valid_level(10)
+        node.level = 5
+        assert node.has_valid_level(10)
+        node.level = 11
+        assert not node.has_valid_level(10)

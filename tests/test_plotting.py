@@ -1,0 +1,68 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_chart
+from repro.errors import ConfigError
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"s": [(0, 0), (1, 1), (2, 4)]}, title="t", x_label="x", y_label="y"
+        )
+        assert "t" in chart
+        assert "o s" in chart  # legend with marker
+        assert chart.count("o") >= 3  # all points drawn (plus legend)
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o a" in chart and "x b" in chart
+
+    def test_log_x_axis_labels(self):
+        chart = ascii_chart({"s": [(10, 1), (1000, 2)]}, log_x=True)
+        assert "10" in chart and "1e+03" in chart
+
+    def test_log_scale_drops_nonpositive(self):
+        chart = ascii_chart({"s": [(0, 1), (10, 2)]}, log_x=True)
+        assert "dropped" in chart
+
+    def test_all_points_dropped_raises(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({"s": [(0, 1)]}, log_x=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_chart({"s": [(0, 0)]}, width=5)
+
+    def test_degenerate_single_point(self):
+        chart = ascii_chart({"s": [(3, 7)]})
+        assert "o" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart({"s": [(0, 0), (1, 1)]}, width=30, height=8, title="T")
+        data_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(data_rows) == 8
+
+
+class TestCliPlots:
+    def test_fig8_plot_flag(self, capsys):
+        from repro.cli import main
+
+        main(["fig8", "--counts", "10", "100", "--trials", "20", "--plot"])
+        out = capsys.readouterr().out
+        assert "rel error" in out
+        assert "predicate count" in out
+
+    def test_connectivity_plot_flag(self, capsys):
+        from repro.cli import main
+
+        main(["connectivity", "--nodes", "40", "--plot"])
+        out = capsys.readouterr().out
+        assert "Connectivity collapse" in out

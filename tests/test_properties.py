@@ -1,0 +1,138 @@
+"""Global protocol invariants under randomized adversaries (hypothesis).
+
+These are the paper's theorems stated as executable properties and
+fuzzed over topology seeds, adversary placement, strategy choice and
+predicate-test policy:
+
+* **Safety (Lemmas 4/5)** — no honest sensor is ever revoked; every
+  revoked key belongs to the adversary's loot.
+* **Correctness (Theorem 2)** — any returned MIN result w satisfies
+  ``overall_min <= w <= honest_min``.
+* **Progress (Theorems 6/7)** — an execution either returns a result or
+  revokes at least one key.
+* **Termination** — sessions end within the bound implied by the
+  adversary's finite key material.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import (
+    Adversary,
+    ChokingFloodStrategy,
+    DropMinimumStrategy,
+    HideAndVetoStrategy,
+    JunkMinimumStrategy,
+    PassiveStrategy,
+    SpuriousVetoStrategy,
+)
+from repro.topology import grid_topology
+
+from tests.conftest import assert_only_malicious_revoked
+
+STRATEGY_MAKERS = [
+    lambda policy: PassiveStrategy(predtest=policy),
+    lambda policy: DropMinimumStrategy(predtest=policy),
+    lambda policy: HideAndVetoStrategy(predtest=policy),
+    lambda policy: JunkMinimumStrategy(predtest=policy),
+    lambda policy: SpuriousVetoStrategy(predtest=policy),
+    lambda policy: ChokingFloodStrategy(predtest=policy),
+]
+
+POLICIES = ["truthful", "deny", "lie_yes", "coin"]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    strategy_index=st.integers(0, len(STRATEGY_MAKERS) - 1),
+    policy=st.sampled_from(POLICIES),
+    malicious=st.sets(st.integers(1, 15), min_size=1, max_size=3),
+    min_holder=st.integers(1, 15),
+)
+def test_single_execution_invariants(seed, strategy_index, policy, malicious, min_holder):
+    dep = build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(4, 4),
+        malicious_ids=malicious,
+        seed=seed,
+    )
+    strategy = STRATEGY_MAKERS[strategy_index](policy)
+    adv = Adversary(dep.network, strategy, seed=seed)
+    protocol = VMATProtocol(dep.network, adversary=adv)
+
+    readings = {i: 100.0 + i for i in dep.topology.sensor_ids}
+    readings[min_holder] = 1.0
+    result = protocol.execute(MinQuery(), readings)
+
+    # Safety: never any honest collateral.
+    assert_only_malicious_revoked(dep, malicious)
+
+    # Progress: result or revocation, never neither.
+    assert result.produced_result or result.revocations
+
+    # Correctness of returned results (Theorem 2).
+    if result.produced_result:
+        assert result.overall_true_value <= result.estimate <= result.honest_true_value
+
+    # Cost: the pre-pinpointing part is O(1) flooding rounds, and the
+    # whole execution is bounded by O(L log n) (Theorem 7).
+    assert result.flooding_rounds <= 6.0 + 2.5 * (
+        result.pinpoint.tests_run if result.pinpoint else 0
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 1_000),
+    policy=st.sampled_from(POLICIES),
+    malicious=st.sets(st.integers(1, 15), min_size=1, max_size=2),
+)
+def test_session_terminates_with_a_result(seed, policy, malicious):
+    dep = build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(4, 4),
+        malicious_ids=malicious,
+        seed=seed,
+    )
+    adv = Adversary(dep.network, DropMinimumStrategy(predtest=policy), seed=seed)
+    protocol = VMATProtocol(dep.network, adversary=adv)
+    readings = {i: 100.0 + i for i in dep.topology.sensor_ids}
+    readings[15] = 1.0
+
+    session = protocol.run_session(MinQuery(), readings, max_executions=400)
+    assert session.final_estimate is not None
+    assert_only_malicious_revoked(dep, malicious)
+    # Termination bound: each failed execution revokes >= 1 adversary
+    # key, and the adversary's loot is finite.
+    assert session.executions_until_result <= len(dep.network.adversary_pool_indices()) + 1
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1_000), malicious=st.sets(st.integers(1, 15), min_size=1, max_size=3))
+def test_passive_compromise_is_invisible(seed, malicious):
+    """Compromise without deviation must not change anything."""
+    dep = build_deployment(
+        config=small_test_config(depth_bound=10),
+        topology=grid_topology(4, 4),
+        malicious_ids=malicious,
+        seed=seed,
+    )
+    adv = Adversary(dep.network, PassiveStrategy(), seed=seed)
+    protocol = VMATProtocol(dep.network, adversary=adv)
+    readings = {i: 100.0 + i for i in dep.topology.sensor_ids}
+    result = protocol.execute(MinQuery(), readings)
+    assert result.produced_result
+    assert result.estimate == min(readings.values())
+    assert not result.revocations

@@ -1,0 +1,158 @@
+"""Discrete-event engine and interval schedule tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import IntervalSchedule, SimulationEngine
+
+
+class TestSimulationEngine:
+    def test_runs_events_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for label in "abcde":
+            engine.schedule(1.0, lambda l=label: fired.append(l))
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_now_advances_with_events(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_rejects_scheduling_into_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(1.0, lambda: None)
+
+    def test_schedule_after_uses_relative_delay(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(2.0, lambda: engine.schedule_after(3.0, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [5.0]
+
+    def test_rejects_negative_delay(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                engine.schedule_after(1.0, lambda: chain(n + 1))
+
+        engine.schedule(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_max_events_guards_runaway_loops(self):
+        engine = SimulationEngine()
+
+        def forever():
+            engine.schedule_after(1.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+    def test_step_returns_none_when_empty(self):
+        assert SimulationEngine().step() is None
+
+    def test_not_reentrant(self):
+        engine = SimulationEngine()
+        errors = []
+
+        def bad():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        engine.schedule(0.0, bad)
+        engine.run()
+        assert len(errors) == 1
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for t in range(4):
+            engine.schedule(float(t), lambda: None)
+        engine.run()
+        assert engine.events_processed == 4
+
+
+class TestIntervalSchedule:
+    def test_interval_boundaries(self):
+        schedule = IntervalSchedule(start_time=10.0, interval_length=2.0, num_intervals=3)
+        assert schedule.interval_start(1) == 10.0
+        assert schedule.interval_end(1) == 12.0
+        assert schedule.interval_start(3) == 14.0
+        assert schedule.end_time == 16.0
+
+    def test_interval_of_maps_times_correctly(self):
+        schedule = IntervalSchedule(0.0, 1.0, 5)
+        assert schedule.interval_of(-0.5) == 0  # before phase
+        assert schedule.interval_of(0.0) == 1
+        assert schedule.interval_of(0.999) == 1
+        assert schedule.interval_of(4.5) == 5
+        assert schedule.interval_of(5.0) == 6  # after phase == ignored
+
+    def test_midpoint(self):
+        schedule = IntervalSchedule(0.0, 2.0, 4)
+        assert schedule.midpoint(2) == 3.0
+
+    def test_rejects_out_of_range_interval(self):
+        schedule = IntervalSchedule(0.0, 1.0, 3)
+        with pytest.raises(SimulationError):
+            schedule.interval_start(0)
+        with pytest.raises(SimulationError):
+            schedule.interval_end(4)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(SimulationError):
+            IntervalSchedule(0.0, 0.0, 3)
+        with pytest.raises(SimulationError):
+            IntervalSchedule(0.0, 1.0, 0)
+
+    @given(
+        start=st.floats(-100, 100),
+        length=st.floats(0.01, 10),
+        num=st.integers(1, 50),
+        k=st.integers(1, 50),
+    )
+    def test_midpoint_always_inside_its_interval(self, start, length, num, k):
+        if k > num:
+            k = num
+        schedule = IntervalSchedule(start, length, num)
+        mid = schedule.midpoint(k)
+        assert schedule.interval_start(k) < mid < schedule.interval_end(k)
+        assert schedule.interval_of(mid) == k

@@ -1,0 +1,129 @@
+"""Attacks on COUNT/SUM queries: the multi-instance paths of the
+veto and pinpointing machinery (instances > 0, per-instance predicates,
+synopsis verification at the base station)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CountQuery,
+    ExecutionOutcome,
+    SumQuery,
+    VMATProtocol,
+    build_deployment,
+    small_test_config,
+)
+from repro.adversary import Adversary, DropMinimumStrategy, JunkMinimumStrategy, Strategy
+from repro.topology import line_topology
+
+from tests.conftest import assert_only_malicious_revoked
+
+M = 24  # synopses per query (small for speed, large enough to matter)
+
+
+def deployment(malicious, seed=19):
+    return build_deployment(
+        config=small_test_config(depth_bound=12, num_synopses=M),
+        topology=line_topology(8),
+        malicious_ids=malicious,
+        seed=seed,
+    )
+
+
+def count_query():
+    return CountQuery(predicate=lambda r: r > 0.5, num_synopses=M)
+
+
+class TestDroppedSynopses:
+    def test_dropping_synopses_triggers_instance_veto(self):
+        """A dropper suppresses the downstream synopses; some instance's
+        true minimum lives behind it, its owner vetoes with that
+        instance, and pinpointing walks the instance-aware predicates."""
+        dep = deployment({3})
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=19)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 1.0 for i in dep.topology.sensor_ids}  # all satisfy
+        result = protocol.execute(count_query(), readings)
+        assert result.outcome is ExecutionOutcome.VETO_PINPOINT
+        assert result.revocations
+        assert_only_malicious_revoked(dep, {3})
+
+    def test_count_session_converges_to_accurate_estimate(self):
+        dep = deployment({3})
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=19)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 1.0 for i in dep.topology.sensor_ids}
+        session = protocol.run_session(count_query(), readings, max_executions=100)
+        assert session.final_estimate is not None
+        # After the dropper's boundary keys die, the surviving component
+        # answers; the count reflects whoever is still reachable.
+        assert session.final_estimate > 0
+        assert_only_malicious_revoked(dep, {3})
+
+    def test_sum_query_attack(self):
+        dep = deployment({3})
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=19)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: float(i) for i in dep.topology.sensor_ids}
+        result = protocol.execute(SumQuery(num_synopses=M), readings)
+        assert result.produced_result or result.revocations
+        assert_only_malicious_revoked(dep, {3})
+
+
+class TestJunkSynopses:
+    def test_forged_synopsis_detected_and_pinpointed(self):
+        """Junk on every instance: the per-instance minimum check at the
+        base station rejects the forged value (no legal reading inverts
+        to it) and junk-triggered pinpointing runs with that instance."""
+        dep = deployment({3})
+        adv = Adversary(
+            dep.network, JunkMinimumStrategy(junk_value=1e-9, predtest="deny"), seed=19
+        )
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 1.0 for i in dep.topology.sensor_ids}
+        result = protocol.execute(count_query(), readings)
+        assert result.outcome is ExecutionOutcome.JUNK_AGGREGATION_PINPOINT
+        assert result.revocations
+        assert_only_malicious_revoked(dep, {3})
+
+    def test_valid_looking_wrong_reading_synopsis_rejected(self):
+        """The sharper cheat: a synopsis that DOES invert — but to a
+        reading outside the count domain (reading 5000 instead of the
+        indicator 1).  The per-instance domain restriction kills it."""
+        from repro.core.synopses import synopsis_value
+
+        class DomainCheat(Strategy):
+            def agg_select(self, adv, ctx, node_id):
+                state = adv.state[node_id]
+                return [
+                    adv.sign_reading(
+                        node_id,
+                        synopsis_value(ctx.nonce, node_id, m.instance, 5_000),
+                        ctx.nonce,
+                        instance=m.instance,
+                    )
+                    for m in state.own_messages
+                ]
+
+        dep = deployment({3})
+        adv = Adversary(dep.network, DomainCheat(), seed=19)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 1.0 for i in dep.topology.sensor_ids}
+        result = protocol.execute(count_query(), readings)
+        # The forged synopses are tiny (rate 5000), so they win the
+        # minimum — and fail the domain check: junk pinpointing fires.
+        assert result.outcome is ExecutionOutcome.JUNK_AGGREGATION_PINPOINT
+        assert_only_malicious_revoked(dep, {3})
+
+    def test_self_reported_reading_is_allowed(self):
+        """The in-model behaviour: a malicious sensor reporting a LEGAL
+        reading for itself (predicate satisfied, reading 1) passes all
+        checks — secure aggregation does not police self-reports."""
+        dep = deployment({3})
+        adv = Adversary(dep.network, None, seed=19)  # honest mimicry
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 1.0 if i != 3 else 0.0 for i in dep.topology.sensor_ids}
+        # Sensor 3 reports 0 (not detecting): truth counts 6 of 7.
+        result = protocol.execute(count_query(), readings)
+        assert result.produced_result

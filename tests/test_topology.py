@@ -1,0 +1,134 @@
+"""Topology model and generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Topology,
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.topology.generators import recommended_radius
+
+
+class TestTopology:
+    def test_add_and_query_edges(self):
+        topo = Topology(4, [(0, 1), (1, 2)])
+        assert topo.has_edge(0, 1) and topo.has_edge(1, 0)
+        assert not topo.has_edge(0, 2)
+        assert topo.neighbors(1) == frozenset({0, 2})
+        assert topo.degree(1) == 2
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Topology(3, [(1, 1)])
+
+    def test_rejects_unknown_node(self):
+        with pytest.raises(TopologyError):
+            Topology(3, [(0, 5)])
+
+    def test_sensor_ids_exclude_base_station(self):
+        topo = Topology(4, [(0, 1)])
+        assert topo.sensor_ids == [1, 2, 3]
+
+    def test_depths_bfs(self):
+        topo = line_topology(5)
+        depths = topo.depths()
+        assert depths == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_depths_respect_exclusions(self):
+        # 0-1-2 plus 0-3-2: cutting 1 forces the longer route.
+        topo = Topology(4, [(0, 1), (1, 2), (0, 3), (3, 2)])
+        full = topo.depths()
+        assert full[2] == 2
+        without_1 = topo.depths(include={0, 2, 3})
+        assert without_1[2] == 2  # via 3
+        without_both = topo.depths(include={0, 2})
+        assert 2 not in without_both  # unreachable
+
+    def test_network_depth(self):
+        assert line_topology(6).network_depth() == 5
+        assert star_topology(10).network_depth() == 1
+
+    def test_network_depth_excluding_malicious(self):
+        topo = Topology(4, [(0, 1), (1, 2), (0, 3), (3, 2)])
+        assert topo.network_depth(exclude={1}) == 2
+
+    def test_is_connected(self):
+        topo = Topology(4, [(0, 1), (2, 3)])
+        assert not topo.is_connected()
+        assert topo.is_connected(exclude={2, 3})
+
+    def test_connected_component(self):
+        topo = Topology(5, [(0, 1), (1, 2), (3, 4)])
+        assert topo.connected_component() == {0, 1, 2}
+
+    def test_subgraph_filters_edges(self):
+        topo = line_topology(5)
+        sub = topo.subgraph(lambda a, b: (a, b) != (1, 2))
+        assert not sub.has_edge(1, 2)
+        assert sub.has_edge(0, 1)
+
+    def test_num_edges(self):
+        assert grid_topology(3, 3).num_edges() == 12
+
+
+class TestGenerators:
+    def test_line(self):
+        topo = line_topology(4)
+        assert topo.num_edges() == 3
+        assert topo.degree(0) == 1
+
+    def test_star(self):
+        topo = star_topology(6)
+        assert topo.degree(0) == 5
+        assert all(topo.degree(i) == 1 for i in range(1, 6))
+
+    def test_grid_positions_and_connectivity(self):
+        topo = grid_topology(4, 5)
+        assert topo.num_nodes == 20
+        assert topo.is_connected()
+        assert topo.positions[0] == (0.0, 0.0)
+
+    def test_grid_rejects_bad_dimensions(self):
+        with pytest.raises(TopologyError):
+            grid_topology(0, 5)
+
+    def test_tree_binary(self):
+        topo = tree_topology(7, branching=2)
+        assert topo.is_connected()
+        assert topo.neighbors(0) == frozenset({1, 2})
+        assert topo.network_depth() == 2
+
+    def test_geometric_is_connected_and_deterministic(self):
+        a = random_geometric_topology(60, recommended_radius(60), seed=5)
+        b = random_geometric_topology(60, recommended_radius(60), seed=5)
+        assert a.is_connected()
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_geometric_seeds_differ(self):
+        a = random_geometric_topology(60, recommended_radius(60), seed=1)
+        b = random_geometric_topology(60, recommended_radius(60), seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_geometric_raises_when_radius_hopeless(self):
+        with pytest.raises(TopologyError):
+            random_geometric_topology(100, 0.001, seed=0, max_attempts=3)
+
+    def test_geometric_edges_respect_radius(self):
+        radius = 0.3
+        topo = random_geometric_topology(30, radius, seed=3)
+        for a, b in topo.edges():
+            (x1, y1), (x2, y2) = topo.positions[a], topo.positions[b]
+            assert (x1 - x2) ** 2 + (y1 - y2) ** 2 <= radius**2 + 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 40))
+    def test_line_depth_is_n_minus_1(self, n):
+        assert line_topology(n).network_depth() == n - 1

@@ -1,0 +1,130 @@
+"""NetworkX interop, centrality-based adversary placement, clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionOutcome, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.errors import TopologyError
+from repro.topology import (
+    Topology,
+    betweenness_ranking,
+    cluster_topology,
+    disjoint_paths_to_base,
+    from_networkx,
+    grid_topology,
+    line_topology,
+    most_central_sensors,
+    to_networkx,
+)
+
+from tests.conftest import assert_only_malicious_revoked
+
+
+class TestNetworkxBridge:
+    def test_round_trip(self):
+        topo = grid_topology(3, 4)
+        back = from_networkx(to_networkx(topo))
+        assert sorted(back.edges()) == sorted(topo.edges())
+        assert back.positions == topo.positions
+
+    def test_from_networkx_requires_consecutive_ids(self):
+        import networkx
+
+        graph = networkx.Graph()
+        graph.add_edge(1, 5)
+        with pytest.raises(TopologyError):
+            from_networkx(graph)
+
+
+class TestCentrality:
+    def test_line_center_is_most_central(self):
+        ranking = betweenness_ranking(line_topology(9))
+        assert ranking[0][0] == 4  # the midpoint carries every path
+
+    def test_most_central_sensors_count(self):
+        central = most_central_sensors(grid_topology(4, 4), 3)
+        assert len(central) == 3
+        assert 0 not in central  # the base station is never a candidate
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TopologyError):
+            most_central_sensors(line_topology(5), -1)
+
+    def test_disjoint_paths(self):
+        assert disjoint_paths_to_base(line_topology(5), 4) == 1
+        assert disjoint_paths_to_base(grid_topology(4, 4), 15) == 2
+        with pytest.raises(TopologyError):
+            disjoint_paths_to_base(line_topology(5), 0)
+
+    def test_central_compromise_is_the_strong_attack(self):
+        """Placing the dropper at the highest-betweenness sensor must
+        intercept the minimum on a line (it IS the only path)."""
+        topo = line_topology(9)
+        victim = most_central_sensors(topo, 1)[0]
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=topo,
+            malicious_ids={victim},
+            seed=6,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=6)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 40.0 + i for i in topo.sensor_ids}
+        readings[8] = 1.0
+        result = protocol.execute(MinQuery(), readings)
+        assert result.outcome is ExecutionOutcome.VETO_PINPOINT
+        assert_only_malicious_revoked(dep, {victim})
+
+
+class TestClusterTopology:
+    def test_shape(self):
+        topo = cluster_topology(3, 6, seed=2)
+        assert topo.num_nodes == 19
+        assert topo.is_connected()
+
+    def test_heads_form_the_backbone(self):
+        topo = cluster_topology(3, 5, seed=2)
+        heads = [1, 6, 11]
+        assert topo.has_edge(0, heads[0])
+        assert topo.has_edge(heads[0], heads[1])
+        assert topo.has_edge(heads[1], heads[2])
+
+    def test_head_is_a_cut_vertex(self):
+        topo = cluster_topology(2, 5, seed=2)
+        # Members of the second cluster reach the BS only through heads.
+        member = 8  # second cluster member (head of cluster 1 is 6)
+        assert disjoint_paths_to_base(topo, member) == 1
+
+    def test_protocol_runs_on_clusters(self):
+        topo = cluster_topology(3, 5, seed=2)
+        dep = build_deployment(
+            config=small_test_config(depth_bound=8), topology=topo, seed=2
+        )
+        protocol = VMATProtocol(dep.network)
+        readings = {i: 20.0 + i for i in topo.sensor_ids}
+        readings[12] = 1.0
+        result = protocol.execute(MinQuery(), readings)
+        assert result.produced_result and result.estimate == 1.0
+
+    def test_compromised_head_attack_and_recovery(self):
+        topo = cluster_topology(2, 5, seed=2)
+        head = 6  # second cluster's head: a cut vertex
+        dep = build_deployment(
+            config=small_test_config(depth_bound=8),
+            topology=topo,
+            malicious_ids={head},
+            seed=2,
+        )
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=2)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 20.0 + i for i in topo.sensor_ids}
+        readings[9] = 1.0  # behind the compromised head
+        session = protocol.run_session(MinQuery(), readings, max_executions=100)
+        assert session.final_estimate is not None
+        assert_only_malicious_revoked(dep, {head})
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(TopologyError):
+            cluster_topology(0, 5)

@@ -1,0 +1,104 @@
+"""Structured execution traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy
+from repro.errors import ReproError
+from repro.topology import line_topology
+from repro.tracing import Tracer
+
+
+class TestTracerBasics:
+    def test_record_and_query(self):
+        tracer = Tracer()
+        tracer.record("alpha", x=1)
+        tracer.record("beta", x=2)
+        tracer.record("alpha", x=3)
+        assert len(tracer) == 3
+        assert [e.fields["x"] for e in tracer.of_kind("alpha")] == [1, 3]
+        assert tracer.counts() == {"alpha": 2, "beta": 1}
+
+    def test_where_filters_on_fields(self):
+        tracer = Tracer()
+        tracer.record("tx", sender=1, receiver=2)
+        tracer.record("tx", sender=1, receiver=3)
+        assert len(tracer.where("tx", sender=1)) == 2
+        assert len(tracer.where("tx", receiver=3)) == 1
+        assert tracer.where("tx", receiver=9) == []
+
+    def test_capacity_drops_excess(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record("e", i=i)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ReproError):
+            Tracer(capacity=0)
+
+    def test_jsonl_round_trip(self):
+        tracer = Tracer()
+        tracer.record("tx", sender=1, verified=True, note="hello")
+        rows = Tracer.from_jsonl(tracer.to_jsonl())
+        assert rows == [
+            {"sequence": 0, "kind": "tx", "sender": 1, "verified": True, "note": "hello"}
+        ]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record("x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestProtocolTracing:
+    def test_honest_execution_emits_expected_kinds(self):
+        dep = build_deployment(num_nodes=15, seed=4)
+        tracer = Tracer.attach(dep.network)
+        protocol = VMATProtocol(dep.network)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        protocol.execute(MinQuery(), readings)
+        counts = tracer.counts()
+        assert counts["execution-start"] == 1
+        assert counts["execution-end"] == 1
+        assert counts["authenticated-broadcast"] >= 3  # tree, query, confirm
+        assert counts["transmission"] > 0
+        end = tracer.of_kind("execution-end")[0]
+        assert end.fields["outcome"] == "result"
+
+    def test_attack_trace_shows_revocations(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(8),
+            malicious_ids={3},
+            seed=4,
+        )
+        tracer = Tracer.attach(dep.network)
+        adv = Adversary(dep.network, DropMinimumStrategy(predtest="deny"), seed=4)
+        protocol = VMATProtocol(dep.network, adversary=adv)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        readings[7] = 1.0
+        protocol.execute(MinQuery(), readings)
+        revocations = tracer.of_kind("revocation")
+        assert revocations
+        assert all("reason" in e.fields for e in revocations)
+        end = tracer.of_kind("execution-end")[0]
+        assert end.fields["outcome"] == "veto-pinpoint"
+
+    def test_transmission_events_are_verifiable_data(self):
+        dep = build_deployment(num_nodes=12, seed=4)
+        tracer = Tracer.attach(dep.network)
+        protocol = VMATProtocol(dep.network)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        protocol.execute(MinQuery(), readings)
+        for event in tracer.of_kind("transmission"):
+            assert event.fields["phase"] in {"tree", "aggregation", "confirmation"}
+            assert isinstance(event.fields["verified"], bool)
+        # JSON export works on a real trace.
+        assert json.loads(tracer.to_jsonl().splitlines()[0])

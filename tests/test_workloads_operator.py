@@ -1,0 +1,145 @@
+"""Workload fields and the long-running network operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CountQuery, MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.adversary import Adversary, DropMinimumStrategy, JunkMinimumStrategy
+from repro.errors import ConfigError
+from repro.operator import NetworkOperator
+from repro.topology import grid_topology, line_topology
+from repro.workloads import GradientField, Hotspot, HotspotField, UniformNoiseField
+
+from tests.conftest import assert_only_malicious_revoked
+
+
+@pytest.fixture
+def geo_deployment():
+    return build_deployment(num_nodes=30, seed=8)
+
+
+class TestHotspotField:
+    def test_peak_near_hotspot(self, geo_deployment):
+        topo = geo_deployment.topology
+        # Put the hotspot exactly on a sensor.
+        sx, sy = topo.positions[5]
+        fld = HotspotField([Hotspot(sx, sy, intensity=80, radius=0.2)], noise=0.0)
+        readings = fld.readings(topo)
+        assert readings[5] == max(readings.values())
+        assert readings[5] == pytest.approx(100.0)  # background 20 + 80
+
+    def test_decay_with_distance(self, geo_deployment):
+        topo = geo_deployment.topology
+        fld = HotspotField([Hotspot(0.0, 0.0, intensity=50, radius=0.3)], noise=0.0)
+        readings = fld.readings(topo)
+        by_distance = sorted(
+            topo.sensor_ids,
+            key=lambda s: topo.positions[s][0] ** 2 + topo.positions[s][1] ** 2,
+        )
+        assert readings[by_distance[0]] >= readings[by_distance[-1]]
+
+    def test_drift_moves_the_peak(self, geo_deployment):
+        topo = geo_deployment.topology
+        fld = HotspotField(
+            [Hotspot(0.1, 0.5, intensity=80, radius=0.15, drift=(0.2, 0.0))],
+            noise=0.0,
+        )
+        early = fld.readings(topo, epoch=0)
+        late = fld.readings(topo, epoch=4)
+        assert early != late
+
+    def test_deterministic(self, geo_deployment):
+        fld = HotspotField([Hotspot(0.5, 0.5, 10, 0.2)], seed=3)
+        a = fld.readings(geo_deployment.topology, epoch=1)
+        b = fld.readings(geo_deployment.topology, epoch=1)
+        assert a == b
+
+    def test_integer_mode(self, geo_deployment):
+        fld = HotspotField([Hotspot(0.5, 0.5, 10, 0.2)], integer=True)
+        readings = fld.readings(geo_deployment.topology)
+        assert all(v == int(v) for v in readings.values())
+
+    def test_requires_positions(self):
+        fld = HotspotField([Hotspot(0.5, 0.5, 10, 0.2)])
+        with pytest.raises(ConfigError):
+            fld.readings(line_topology(5))
+
+
+class TestOtherFields:
+    def test_gradient_monotone_along_axis(self, geo_deployment):
+        topo = geo_deployment.topology
+        fld = GradientField(low=0, high=100, axis="x")
+        readings = fld.readings(topo)
+        left = min(topo.sensor_ids, key=lambda s: topo.positions[s][0])
+        right = max(topo.sensor_ids, key=lambda s: topo.positions[s][0])
+        assert readings[left] < readings[right]
+
+    def test_gradient_rejects_bad_axis(self):
+        with pytest.raises(ConfigError):
+            GradientField(axis="z")
+
+    def test_uniform_in_range_and_deterministic(self, geo_deployment):
+        fld = UniformNoiseField(low=5, high=9, seed=2)
+        readings = fld.readings(geo_deployment.topology, epoch=3)
+        assert all(5 <= v <= 9 for v in readings.values())
+        assert readings == UniformNoiseField(5, 9, seed=2).readings(
+            geo_deployment.topology, epoch=3
+        )
+
+    def test_uniform_rejects_inverted_range(self):
+        with pytest.raises(ConfigError):
+            UniformNoiseField(low=9, high=5)
+
+
+class TestNetworkOperator:
+    def test_honest_epochs_all_answer(self, geo_deployment):
+        operator = NetworkOperator(geo_deployment.network)
+        fld = UniformNoiseField(10, 50, seed=1)
+        records = operator.run_epochs(MinQuery(), fld, num_epochs=4)
+        assert all(r.answered for r in records)
+        report = operator.health_report()
+        assert report.availability == 1.0
+        assert report.attacked_epochs == 0
+        assert report.total_revoked_keys == 0
+        assert report.epochs == 4
+
+    def test_attacked_epochs_recover_and_are_recorded(self):
+        dep = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(8),
+            malicious_ids={3},
+            seed=8,
+        )
+        adv = Adversary(dep.network, JunkMinimumStrategy(predtest="deny"), seed=8)
+        operator = NetworkOperator(dep.network, adversary=adv)
+        fld = UniformNoiseField(10, 50, seed=1)
+        records = operator.run_epochs(MinQuery(), fld, num_epochs=2)
+        assert all(r.answered for r in records)  # Theorem 7 per epoch
+        assert records[0].attempts > 1  # the attack cost extra executions
+        report = operator.health_report()
+        assert report.attacked_epochs >= 1
+        assert report.total_revoked_keys > 0
+        assert_only_malicious_revoked(dep, {3})
+
+    def test_health_report_tracks_population(self):
+        dep = build_deployment(num_nodes=20, seed=8)
+        operator = NetworkOperator(dep.network)
+        operator.run_epoch(MinQuery(), {i: 5.0 for i in dep.topology.sensor_ids})
+        report = operator.health_report()
+        assert report.surviving_sensors == 19
+        assert report.securely_connected == 19
+
+    def test_relative_error_for_count_epochs(self, geo_deployment):
+        operator = NetworkOperator(geo_deployment.network)
+        fld = UniformNoiseField(0, 100, seed=4)
+        query = CountQuery(predicate=lambda r: r > 50, num_synopses=120)
+        operator.run_epochs(query, fld, num_epochs=2)
+        report = operator.health_report()
+        assert "count" in report.mean_relative_error_by_query
+        assert report.mean_relative_error_by_query["count"] < 0.5
+        assert report.mean_relative_error is not None
+
+    def test_rejects_bad_attempt_limit(self, geo_deployment):
+        with pytest.raises(ConfigError):
+            NetworkOperator(geo_deployment.network, max_attempts_per_epoch=0)
