@@ -19,22 +19,22 @@ from __future__ import annotations
 import pytest
 
 from repro import CountQuery, VMATProtocol, build_deployment, small_test_config
-from repro.baselines import naive_collection_cost, vmat_query_cost
-from repro.baselines.naive import NAIVE_REPORT_BYTES
-from repro.config import ProtocolConfig
+from repro.baselines import naive_collection_cost
 from repro.core.tree import form_tree
 from repro.topology import random_geometric_topology
 from repro.topology.generators import recommended_radius
 
-from .helpers import print_table, run_once
+from .helpers import get_scenario, print_table, run_once
 
 
 def test_comm_paper_scale_closed_form(benchmark):
+    # The closed form is the registered "comm" campaign scenario —
+    # exactly what `python -m repro campaign run --scenario comm` fans out.
+    comm = get_scenario("comm")
+
     def experiment():
-        protocol = ProtocolConfig()  # m = 100, 24-byte synopses
-        vmat_bytes = vmat_query_cost(protocol)
-        naive_bottleneck = 10_000 * NAIVE_REPORT_BYTES
-        return vmat_bytes, naive_bottleneck
+        metrics = comm.run({"nodes": 10_000, "synopses": 100}, seed=0)
+        return int(metrics["vmat_bytes"]), int(metrics["naive_bytes"])
 
     vmat_bytes, naive_bottleneck = run_once(benchmark, experiment)
     ratio = naive_bottleneck / vmat_bytes

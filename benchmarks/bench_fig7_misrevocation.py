@@ -20,12 +20,16 @@ import pytest
 from repro.analysis import misrevocation_trials
 from repro.config import KeyConfig
 
-from .helpers import print_table, run_once
+from .helpers import get_scenario, print_table, run_once
 
 PAPER_KEYS = KeyConfig()  # u = 100,000, r = 250
-THETAS = tuple(range(1, 41))
-MALICIOUS_COUNTS = (1, 5, 10, 20)
-TRIALS = 100
+# The paper-scale sweep parameters live on the campaign registry
+# (repro.campaign.scenarios) — the bench and `campaign run --full`
+# share one definition.
+_GRID = get_scenario("fig7").grid
+THETAS = tuple(range(1, _GRID["theta_max"][0] + 1))
+MALICIOUS_COUNTS = _GRID["malicious"]
+TRIALS = _GRID["trials"][0]
 
 
 @pytest.mark.parametrize("num_sensors", [1_000, 10_000])

@@ -19,11 +19,14 @@ import pytest
 from repro.analysis import figure8
 from repro.analysis.approximation import protocol_count_trial
 
-from .helpers import print_table, run_once
+from .helpers import get_scenario, print_table, run_once
 
-COUNTS = (10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000)
-NUM_SYNOPSES = 100
-TRIALS = 200
+# Sweep parameters come from the campaign registry so the bench and
+# `campaign run --full --scenario fig8` regenerate the same figure.
+_GRID = get_scenario("fig8").grid
+COUNTS = _GRID["count"]
+NUM_SYNOPSES = _GRID["synopses"][0]
+TRIALS = _GRID["trials"][0]
 
 
 def test_fig8_count_approximation(benchmark):

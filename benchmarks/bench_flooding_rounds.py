@@ -11,32 +11,23 @@ from __future__ import annotations
 
 import pytest
 
-from repro import MinQuery, VMATProtocol, build_deployment, small_test_config
 from repro.baselines import SetSamplingCostModel
-from repro.topology import random_geometric_topology
-from repro.topology.generators import recommended_radius
 
-from .helpers import print_table, run_once
+from .helpers import get_scenario, print_table, run_once
 
-SIZES = (50, 100, 200, 400)
+# Sizes come from the campaign registry's paper-scale grid; the bench
+# body *is* the registered "rounds" scenario, run at a fixed seed.
+SIZES = get_scenario("rounds").grid["nodes"]
 
 
 def test_flooding_rounds_constant_in_n(benchmark):
+    rounds_scenario = get_scenario("rounds")
+
     def experiment():
-        rounds = {}
-        for n in SIZES:
-            topology = random_geometric_topology(
-                n, recommended_radius(n), seed=1
-            )
-            deployment = build_deployment(
-                config=small_test_config(depth_bound=12), topology=topology, seed=1
-            )
-            protocol = VMATProtocol(deployment.network)
-            readings = {i: 10.0 + (i % 9) for i in topology.sensor_ids}
-            result = protocol.execute(MinQuery(), readings)
-            assert result.produced_result
-            rounds[n] = result.flooding_rounds
-        return rounds
+        return {
+            n: rounds_scenario.run({"nodes": n, "trace": 0}, seed=1)["vmat_rounds"]
+            for n in SIZES
+        }
 
     rounds = run_once(benchmark, experiment)
     model = SetSamplingCostModel()

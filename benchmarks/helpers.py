@@ -6,11 +6,19 @@ experiment once per benchmark round (``rounds=1``) — they measure the
 experiment and *print the same rows/series the paper reports*, then
 assert the qualitative shape (who wins, by roughly what factor).
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+
+Table rendering and the experiment bodies themselves live in
+:mod:`repro.campaign` — the benches resolve scenarios through the
+campaign registry (``get_scenario``) so the pytest harness, the CLI and
+the parallel campaign runner execute the same code.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Sequence
+from typing import Callable, Iterable, Sequence
+
+from repro.campaign import get_scenario  # noqa: F401  (re-export for benches)
+from repro.campaign.report import format_table
 
 
 def run_once(benchmark, experiment: Callable):
@@ -20,14 +28,5 @@ def run_once(benchmark, experiment: Callable):
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
-    print(f"\n=== {title} ===")
-    widths = [max(len(str(h)), 12) for h in header]
-    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
-    for row in rows:
-        print("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)
+    """Print an aligned table (shared renderer from repro.campaign)."""
+    print(format_table(title, header, rows))

@@ -1,0 +1,69 @@
+"""Parallel experiment campaigns with a persistent result store.
+
+The campaign subsystem turns the repo's standalone benchmark scripts
+into one declarative pipeline:
+
+* :mod:`~repro.campaign.spec` — :class:`CampaignSpec` describes a
+  parameter grid (scenarios × axes × replicates) with JSON round-trip
+  and position-free per-cell seed derivation;
+* :mod:`~repro.campaign.registry` — ``@scenario("fig7")`` registers an
+  experiment body once for every harness (CLI, campaign runner, bench);
+* :mod:`~repro.campaign.runner` — a spawn-safe multiprocessing executor
+  with per-cell timeout, retry-once and graceful interrupt;
+* :mod:`~repro.campaign.store` — append-only JSONL results + manifests
+  (git SHA, spec hash, wall time) with resume support;
+* :mod:`~repro.campaign.report` — mean ± stderr aggregation and
+  threshold-based regression comparison between runs.
+
+::
+
+    python -m repro campaign run --scenario fig7 --jobs 4
+    python -m repro campaign report latest
+    python -m repro campaign compare <base> <new>
+"""
+
+from __future__ import annotations
+
+from .registry import Scenario, available_scenarios, get_scenario, register, scenario
+from .report import (
+    ComparisonReport,
+    MetricAggregate,
+    Regression,
+    aggregate_records,
+    bench_payload,
+    compare_runs,
+    format_table,
+    render_report,
+    summarize_run,
+)
+from .runner import RunResult, execute_cell, resume_campaign, run_campaign
+from .spec import CampaignSpec, Cell, ScenarioSpec, cell_id_for, derive_cell_seed
+from .store import ResultStore, RunStore
+
+__all__ = [
+    "CampaignSpec",
+    "Cell",
+    "ComparisonReport",
+    "MetricAggregate",
+    "Regression",
+    "ResultStore",
+    "RunResult",
+    "RunStore",
+    "Scenario",
+    "ScenarioSpec",
+    "aggregate_records",
+    "available_scenarios",
+    "bench_payload",
+    "cell_id_for",
+    "compare_runs",
+    "derive_cell_seed",
+    "execute_cell",
+    "format_table",
+    "get_scenario",
+    "register",
+    "render_report",
+    "resume_campaign",
+    "run_campaign",
+    "scenario",
+    "summarize_run",
+]

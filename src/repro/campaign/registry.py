@@ -1,0 +1,133 @@
+"""Scenario registry: named experiment bodies the runner can execute.
+
+A *scenario* is a pure function ``fn(params, seed) -> {metric: float}``
+registered under a stable name with the :func:`scenario` decorator.
+The CLI, the campaign runner and the benchmark suite all resolve
+experiments through this registry, so an experiment is defined exactly
+once and every harness (single-shot CLI, parallel campaign, pytest
+bench) runs the same code.
+
+Each registration carries two grids: ``grid`` reproduces the paper's
+full evaluation parameters, ``reduced_grid`` is a seconds-scale slice
+for smoke runs and CI.
+
+>>> from repro.campaign import get_scenario
+>>> comm = get_scenario("comm")
+>>> comm.run({"nodes": 10_000, "synopses": 100}, seed=0)["vmat_bytes"]
+2400.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from ..errors import ConfigError, ReproError
+
+ScenarioFn = Callable[[Mapping[str, Any], int], Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered experiment: callable body plus its default grids."""
+
+    name: str
+    fn: ScenarioFn
+    description: str = ""
+    grid: Mapping[str, tuple] = field(default_factory=dict)
+    reduced_grid: Mapping[str, tuple] = field(default_factory=dict)
+
+    def run(self, params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+        """Execute the scenario and validate its metric payload."""
+        metrics = self.fn(params, seed)
+        if not isinstance(metrics, dict) or not metrics:
+            raise ReproError(
+                f"scenario {self.name!r} must return a non-empty dict of metrics, "
+                f"got {type(metrics).__name__}"
+            )
+        out: Dict[str, float] = {}
+        for key, value in metrics.items():
+            if not isinstance(key, str):
+                raise ReproError(f"scenario {self.name!r}: metric name {key!r} is not a string")
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ReproError(
+                    f"scenario {self.name!r}: metric {key!r} is {value!r}, not a number"
+                )
+            out[key] = float(value)
+        return out
+
+    def default_grid(self, reduced: bool = True) -> Dict[str, tuple]:
+        """The grid to sweep when the user gives none (copy)."""
+        chosen = self.reduced_grid if reduced and self.reduced_grid else self.grid
+        return {k: tuple(v) for k, v in chosen.items()}
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        from . import scenarios  # noqa: F401  (registers the built-ins)
+
+
+def register(scn: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry; rejects silent redefinition."""
+    if not replace and scn.name in _REGISTRY:
+        raise ConfigError(f"scenario {scn.name!r} is already registered")
+    _REGISTRY[scn.name] = scn
+    return scn
+
+
+def scenario(
+    name: str,
+    *,
+    description: str = "",
+    grid: Optional[Mapping[str, tuple]] = None,
+    reduced_grid: Optional[Mapping[str, tuple]] = None,
+    replace: bool = False,
+) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Decorator form of :func:`register`.
+
+    ::
+
+        @scenario("fig7", grid={"nodes": (1_000, 10_000)})
+        def fig7(params, seed):
+            ...
+            return {"safe_theta": 27.0}
+    """
+
+    def decorate(fn: ScenarioFn) -> ScenarioFn:
+        doc = (fn.__doc__ or "").strip()
+        register(
+            Scenario(
+                name=name,
+                fn=fn,
+                description=description or (doc.splitlines()[0] if doc else ""),
+                grid=dict(grid or {}),
+                reduced_grid=dict(reduced_grid or {}),
+            ),
+            replace=replace,
+        )
+        return fn
+
+    return decorate
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario, loading the built-ins on first use."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from None
+
+
+def available_scenarios() -> List[str]:
+    """Sorted names of every registered scenario."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)

@@ -1,0 +1,257 @@
+"""Aggregate campaign runs and compare them for regressions.
+
+Replicate cells (same scenario + parameters, different ``replicate``
+index) are grouped; each metric is summarized as mean ± standard error.
+:func:`compare_runs` diffs two runs' aggregates against a relative
+threshold and emits a pass/fail regression report — ``campaign compare``
+exits non-zero on failure, which is the CI hook.
+
+This module also owns the plain-text table formatter the benchmark
+suite uses (``benchmarks/helpers.py`` re-exports it), so every harness
+prints the paper's tables the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .spec import canonical_json
+from .store import RunStore
+
+GroupKey = Tuple[str, str]  # (scenario, canonical non-replicate params)
+
+
+def format_cell(value: Any) -> str:
+    """Compact cell rendering: 4 significant digits for floats."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table (the benches' shared look)."""
+    lines = [f"\n=== {title} ==="]
+    widths = [max(len(str(h)), 12) for h in header]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(format_cell(v).rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MetricAggregate:
+    """One metric over a group's replicates: mean ± stderr of n samples."""
+
+    mean: float
+    stderr: float
+    n: int
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready form."""
+        return {"mean": self.mean, "stderr": self.stderr, "n": float(self.n)}
+
+
+def _aggregate(samples: List[float]) -> MetricAggregate:
+    n = len(samples)
+    mean = math.fsum(samples) / n
+    if n < 2:
+        return MetricAggregate(mean=mean, stderr=0.0, n=n)
+    variance = math.fsum((s - mean) ** 2 for s in samples) / (n - 1)
+    return MetricAggregate(mean=mean, stderr=math.sqrt(variance / n), n=n)
+
+
+def aggregate_records(records: Iterable[Mapping[str, Any]]) -> Dict[GroupKey, Dict[str, MetricAggregate]]:
+    """Group ``ok`` records by (scenario, params-minus-replicate).
+
+    Later records for the same cell win (a resumed run may re-record a
+    previously failed cell), so retries never double-count.
+    """
+    by_cell: Dict[str, Mapping[str, Any]] = {}
+    for record in records:
+        if record.get("status") == "ok":
+            by_cell[record["cell_id"]] = record
+    samples: Dict[GroupKey, Dict[str, List[float]]] = {}
+    for record in by_cell.values():
+        params = {k: v for k, v in record["params"].items() if k != "replicate"}
+        key: GroupKey = (record["scenario"], canonical_json(params))
+        bucket = samples.setdefault(key, {})
+        for metric, value in record["metrics"].items():
+            bucket.setdefault(metric, []).append(float(value))
+    return {
+        key: {metric: _aggregate(values) for metric, values in sorted(bucket.items())}
+        for key, bucket in sorted(samples.items())
+    }
+
+
+def summarize_run(run: RunStore) -> Dict[str, Any]:
+    """Everything a report needs: manifest timing + per-group aggregates."""
+    manifest = run.read_manifest()
+    records = run.load_results()
+    ok = [r for r in records if r.get("status") == "ok"]
+    failed = [r for r in records if r.get("status") != "ok"]
+    groups = aggregate_records(records)
+    cell_wall = math.fsum(float(r.get("wall_time_s", 0.0)) for r in ok)
+    wall = manifest.get("wall_time_s")
+    return {
+        "run_id": run.run_id,
+        "name": manifest.get("name"),
+        "git_sha": manifest.get("git_sha"),
+        "spec_hash": manifest.get("spec_hash"),
+        "status": manifest.get("status"),
+        "jobs": manifest.get("jobs"),
+        "cells_total": manifest.get("cells_total"),
+        "cells_ok": len({r["cell_id"] for r in ok}),
+        "cells_failed": len({r["cell_id"] for r in failed} - {r["cell_id"] for r in ok}),
+        "wall_time_s": wall,
+        "cell_wall_time_s": round(cell_wall, 6),
+        "cells_per_sec": manifest.get("cells_per_sec"),
+        "groups": {
+            f"{scenario} {params}": {m: agg.to_dict() for m, agg in metrics.items()}
+            for (scenario, params), metrics in groups.items()
+        },
+    }
+
+
+def render_report(summary: Mapping[str, Any]) -> str:
+    """Human-readable report for one summarized run."""
+    lines = [
+        f"campaign run {summary['run_id']}"
+        + (f" @ {summary['git_sha'][:10]}" if summary.get("git_sha") else ""),
+        f"status={summary['status']}  cells={summary['cells_ok']}/{summary['cells_total']} ok"
+        + (f", {summary['cells_failed']} failed" if summary["cells_failed"] else "")
+        + (
+            f"  wall={summary['wall_time_s']:.2f}s"
+            if isinstance(summary.get("wall_time_s"), (int, float))
+            else ""
+        )
+        + (
+            f"  throughput={summary['cells_per_sec']:.3g} cells/s"
+            if isinstance(summary.get("cells_per_sec"), (int, float))
+            else ""
+        ),
+    ]
+    for group, metrics in summary["groups"].items():
+        rows = [
+            [metric, agg["mean"], agg["stderr"], int(agg["n"])]
+            for metric, agg in metrics.items()
+        ]
+        lines.append(format_table(group, ["metric", "mean", "stderr", "n"], rows))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved beyond the comparison threshold."""
+
+    group: str
+    metric: str
+    base_mean: float
+    new_mean: float
+    rel_delta: float
+
+
+@dataclass
+class ComparisonReport:
+    """Result of diffing two runs' aggregates."""
+
+    base_run: str
+    new_run: str
+    threshold: float
+    compared: int = 0
+    regressions: List[Regression] = field(default_factory=list)
+    missing_groups: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no metric moved beyond the threshold and no group vanished."""
+        return not self.regressions and not self.missing_groups
+
+    def render(self) -> str:
+        """Human-readable pass/fail report."""
+        lines = [
+            f"compare {self.base_run} -> {self.new_run} "
+            f"(threshold {self.threshold:.1%}): "
+            f"{self.compared} metrics compared, {len(self.regressions)} regression(s)"
+        ]
+        for group in self.missing_groups:
+            lines.append(f"  MISSING  {group} (present in base, absent in new)")
+        for reg in self.regressions:
+            lines.append(
+                f"  REGRESSED  {reg.group} :: {reg.metric}  "
+                f"{reg.base_mean:.6g} -> {reg.new_mean:.6g} ({reg.rel_delta:+.2%})"
+            )
+        lines.append("PASS" if self.passed else "FAIL")
+        return "\n".join(lines)
+
+
+def compare_runs(
+    base: RunStore, new: RunStore, threshold: float = 0.05
+) -> ComparisonReport:
+    """Diff two runs' per-group metric means against a relative threshold.
+
+    A metric *regresses* when its mean moves by more than ``threshold``
+    relative to the base mean (absolute move when the base mean is 0).
+    Groups only present in the new run are ignored (grids may grow);
+    groups that disappeared fail the comparison.
+    """
+    base_groups = aggregate_records(base.load_results())
+    new_groups = aggregate_records(new.load_results())
+    report = ComparisonReport(base_run=base.run_id, new_run=new.run_id, threshold=threshold)
+    for key, base_metrics in base_groups.items():
+        group_label = f"{key[0]} {key[1]}"
+        new_metrics = new_groups.get(key)
+        if new_metrics is None:
+            report.missing_groups.append(group_label)
+            continue
+        for metric, base_agg in base_metrics.items():
+            new_agg = new_metrics.get(metric)
+            if new_agg is None:
+                report.missing_groups.append(f"{group_label} :: {metric}")
+                continue
+            report.compared += 1
+            delta = new_agg.mean - base_agg.mean
+            rel = delta / abs(base_agg.mean) if base_agg.mean != 0 else delta
+            if abs(rel) > threshold:
+                report.regressions.append(
+                    Regression(
+                        group=group_label,
+                        metric=metric,
+                        base_mean=base_agg.mean,
+                        new_mean=new_agg.mean,
+                        rel_delta=rel,
+                    )
+                )
+    return report
+
+
+def bench_payload(
+    summary: Mapping[str, Any], baseline_summary: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """The ``BENCH_campaign.json`` payload for one summarized run.
+
+    ``baseline_summary`` (typically the same grid at ``--jobs 1``) adds
+    a wall-time speedup figure.
+    """
+    payload: Dict[str, Any] = {
+        "run_id": summary["run_id"],
+        "git_sha": summary.get("git_sha"),
+        "spec_hash": summary.get("spec_hash"),
+        "jobs": summary.get("jobs"),
+        "cells_total": summary.get("cells_total"),
+        "cells_ok": summary.get("cells_ok"),
+        "wall_time_s": summary.get("wall_time_s"),
+        "cell_wall_time_s": summary.get("cell_wall_time_s"),
+        "cells_per_sec": summary.get("cells_per_sec"),
+        "groups": summary["groups"],
+    }
+    if baseline_summary is not None:
+        base_wall = baseline_summary.get("wall_time_s")
+        wall = summary.get("wall_time_s")
+        payload["baseline_run_id"] = baseline_summary["run_id"]
+        payload["baseline_jobs"] = baseline_summary.get("jobs")
+        payload["baseline_wall_time_s"] = base_wall
+        if isinstance(base_wall, (int, float)) and isinstance(wall, (int, float)) and wall:
+            payload["speedup_vs_baseline"] = round(base_wall / wall, 4)
+    return payload

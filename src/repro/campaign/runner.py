@@ -1,0 +1,250 @@
+"""Parallel campaign execution over a multiprocessing worker pool.
+
+The runner fans a spec's cells out across ``--jobs`` spawn-context
+workers (spawn is the fork-safety lowest common denominator: no
+inherited RNG state, no accidentally shared deployments).  Each cell is
+executed by :func:`execute_cell`, which owns the robustness policy:
+
+* **deterministic seeding** — the cell's seed was derived in
+  :mod:`repro.campaign.spec` from ``(campaign_seed, cell_params)``, so
+  results are bit-identical at any ``--jobs`` value;
+* **per-cell timeout** — a ``SIGALRM``-based alarm (where the platform
+  has one) aborts runaway cells;
+* **retry-once** — a failed or timed-out cell is retried before being
+  recorded as failed, so one flaky cell doesn't kill a long sweep.
+
+Records stream into the :class:`~repro.campaign.store.RunStore` as they
+arrive; ``KeyboardInterrupt`` terminates the pool, marks the manifest
+``interrupted`` and leaves the log resumable (``campaign resume``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import math
+import multiprocessing
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .registry import get_scenario
+from .spec import CampaignSpec, Cell
+from .store import ResultStore, RunStore
+
+#: (scenario, params, cell_id, seed, timeout, imports) — the picklable
+#: payload shipped to pool workers.
+CellPayload = Tuple[str, Tuple[Tuple[str, Any], ...], str, int, float, Tuple[str, ...]]
+
+RETRIES = 1  # retry-once policy for failed/timed-out cells
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when a cell exceeds its time budget."""
+
+
+@contextmanager
+def _alarm(seconds: float):
+    """Abort the enclosed block after ``seconds`` via SIGALRM.
+
+    A no-op when the budget is 0, the platform lacks ``SIGALRM``
+    (Windows), or we are off the main thread (signals cannot be
+    delivered there) — the retry policy still applies, only the
+    hard-abort does not.
+    """
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(max(1, math.ceil(seconds)))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_cell(payload: CellPayload) -> Dict[str, Any]:
+    """Run one cell to a result record (worker side; also used inline).
+
+    Never raises on scenario failure: errors and timeouts become
+    ``status="error"``/``"timeout"`` records after the retry budget is
+    spent, so one bad cell cannot abort a sweep.
+    """
+    scenario_name, params, cell_id, seed, timeout, imports = payload
+    for module in imports:
+        importlib.import_module(module)
+    record: Dict[str, Any] = {
+        "cell_id": cell_id,
+        "scenario": scenario_name,
+        "params": dict(params),
+        "seed": seed,
+        "status": "error",
+        "metrics": {},
+        "error": None,
+        "attempts": 0,
+        "wall_time_s": 0.0,
+    }
+    started = time.perf_counter()
+    try:
+        scenario = get_scenario(scenario_name)
+    except ReproError as exc:
+        record["error"] = str(exc)
+        record["attempts"] = 1
+        record["wall_time_s"] = round(time.perf_counter() - started, 6)
+        return record
+
+    while record["attempts"] <= RETRIES:
+        record["attempts"] += 1
+        try:
+            with _alarm(timeout):
+                record["metrics"] = scenario.run(dict(params), seed)
+            record["status"] = "ok"
+            record["error"] = None
+            break
+        except KeyboardInterrupt:
+            raise
+        except CellTimeout:
+            record["status"] = "timeout"
+            record["error"] = f"cell exceeded its {timeout:g}s budget"
+        except Exception as exc:  # scenario bodies may fail arbitrarily
+            record["status"] = "error"
+            record["error"] = f"{type(exc).__name__}: {exc}"
+    record["wall_time_s"] = round(time.perf_counter() - started, 6)
+    return record
+
+
+def _payloads(spec: CampaignSpec, cells: List[Cell]) -> List[CellPayload]:
+    return [
+        (c.scenario, c.params, c.cell_id, c.seed, spec.cell_timeout, spec.imports)
+        for c in cells
+    ]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    run_id: str
+    cells_total: int
+    skipped: int
+    completed: int
+    failed: int
+    interrupted: bool
+    wall_time_s: float
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def cells_per_sec(self) -> float:
+        """Executed-cell throughput of this invocation."""
+        executed = self.completed + self.failed
+        return executed / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RunResult:
+    """Execute (or resume) a campaign and stream records into the store.
+
+    ``jobs=1`` runs inline — no subprocesses, which is both the fast
+    path for tiny grids and the reference for the bit-identical
+    guarantee.  ``jobs>1`` uses a spawn-context pool with
+    ``imap_unordered`` and a chunksize tuned to keep ~4 chunks queued
+    per worker.
+    """
+    if jobs < 1:
+        raise ReproError("jobs must be >= 1")
+    say = progress or (lambda message: None)
+    run, resumed = store.open_run(spec, jobs=jobs)
+    cells = spec.cells()
+    done = run.completed_cell_ids()
+    todo = [c for c in cells if c.cell_id not in done]
+    if resumed:
+        say(f"resuming run {run.run_id}: {len(done)}/{len(cells)} cells already done")
+    else:
+        say(f"run {run.run_id}: {len(cells)} cells")
+
+    result = RunResult(
+        run_id=run.run_id,
+        cells_total=len(cells),
+        skipped=len(cells) - len(todo),
+        completed=0,
+        failed=0,
+        interrupted=False,
+        wall_time_s=0.0,
+    )
+    started = time.perf_counter()
+
+    def consume(record: Dict[str, Any]) -> None:
+        run.append_result(record)
+        result.records.append(record)
+        if record["status"] == "ok":
+            result.completed += 1
+        else:
+            result.failed += 1
+        say(
+            f"[{result.completed + result.failed}/{len(todo)}] "
+            f"{record['cell_id']} -> {record['status']} "
+            f"({record['wall_time_s']:.2f}s, {record['attempts']} attempt(s))"
+        )
+
+    payloads = _payloads(spec, todo)
+    try:
+        if jobs == 1 or len(todo) <= 1:
+            for payload in payloads:
+                consume(execute_cell(payload))
+        else:
+            context = multiprocessing.get_context("spawn")
+            chunksize = max(1, len(payloads) // (jobs * 4))
+            with context.Pool(processes=min(jobs, len(payloads))) as pool:
+                try:
+                    for record in pool.imap_unordered(
+                        execute_cell, payloads, chunksize=chunksize
+                    ):
+                        consume(record)
+                except KeyboardInterrupt:
+                    pool.terminate()
+                    raise
+    except KeyboardInterrupt:
+        result.interrupted = True
+        say(
+            f"interrupted; {result.completed + result.skipped}/{len(cells)} cells on disk — "
+            f"resume with: python -m repro campaign resume {run.run_id}"
+        )
+
+    result.wall_time_s = round(time.perf_counter() - started, 6)
+    run.update_manifest(
+        status="interrupted" if result.interrupted else "complete",
+        wall_time_s=result.wall_time_s,
+        cells_total=result.cells_total,
+        cells_ok=result.completed + result.skipped,
+        cells_failed=result.failed,
+        cells_per_sec=round(result.cells_per_sec, 4),
+        jobs=jobs,
+    )
+    return result
+
+
+def resume_campaign(
+    run: RunStore,
+    store: ResultStore,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> RunResult:
+    """Continue an interrupted run from its own manifest's spec."""
+    return run_campaign(run.spec(), store, jobs=jobs, progress=progress)

@@ -1,0 +1,163 @@
+"""Built-in scenarios: the paper's figures/claims as registry entries.
+
+Each entry ports one existing experiment (`python -m repro fig7` …,
+`benchmarks/bench_*.py`) onto the campaign registry so the parallel
+runner, the CLI and the benches share one body of experiment code.
+The full ``grid`` reproduces the paper's §IX parameters; the
+``reduced_grid`` is the seconds-scale smoke slice used by CI.
+
+Scenario functions are **pure in (params, seed)**: all randomness flows
+from the per-cell seed derived in :mod:`repro.campaign.spec`, so any
+subset of cells reruns to bit-identical numbers on any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from .registry import scenario
+
+
+@scenario(
+    "fig7",
+    description="Figure 7: honest sensors mis-revoked vs revocation threshold theta",
+    grid={
+        "nodes": (1_000, 10_000),
+        "malicious": (1, 5, 10, 20),
+        "trials": (100,),
+        "theta_max": (40,),
+    },
+    reduced_grid={
+        "nodes": (300,),
+        "malicious": (1, 3),
+        "trials": (5,),
+        "theta_max": (12,),
+    },
+)
+def fig7_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """Monte-Carlo mis-revocation sweep (paper Figure 7, Section IX)."""
+    from ..analysis import misrevocation_trials
+    from ..config import KeyConfig
+    from ..errors import ConfigError
+
+    theta_max = int(params["theta_max"])
+    series = misrevocation_trials(
+        int(params["nodes"]),
+        int(params["malicious"]),
+        range(1, theta_max + 1),
+        trials=int(params["trials"]),
+        key_config=KeyConfig(),
+        seed=seed,
+    )
+    try:
+        safe_theta = float(series.smallest_theta_below(1.0))
+    except ConfigError:
+        safe_theta = -1.0  # no tested theta was safe on this grid slice
+    return {
+        "safe_theta": safe_theta,
+        "misrevoked_at_theta_max": series.avg_misrevoked[theta_max],
+        "misrevoked_at_theta_1": series.avg_misrevoked[1],
+    }
+
+
+@scenario(
+    "fig8",
+    description="Figure 8: relative error of the COUNT synopsis estimator",
+    grid={
+        "count": (10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000),
+        "synopses": (100,),
+        "trials": (200,),
+    },
+    reduced_grid={
+        "count": (50, 500),
+        "synopses": (50,),
+        "trials": (40,),
+    },
+)
+def fig8_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """Distributional COUNT-error trials (paper Figure 8, Section IX)."""
+    from ..analysis import count_error_trials
+
+    count = int(params["count"])
+    series = count_error_trials(
+        [count],
+        num_synopses=int(params["synopses"]),
+        trials=int(params["trials"]),
+        seed=seed,
+    )
+    return {
+        "avg_rel_error": series.average(count),
+        "p50_rel_error": series.percentile(count, 50),
+        "p90_rel_error": series.percentile(count, 90),
+        "p99_rel_error": series.percentile(count, 99),
+    }
+
+
+@scenario(
+    "comm",
+    description="Section IX bottleneck-byte comparison: VMAT vs naive collect-all",
+    grid={"nodes": (10_000,), "synopses": (100,)},
+    reduced_grid={"nodes": (1_000, 10_000), "synopses": (100,)},
+)
+def comm_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """Closed-form §IX communication comparison (seed-independent)."""
+    from ..baselines import vmat_query_cost
+    from ..baselines.naive import NAIVE_REPORT_BYTES
+    from ..config import ProtocolConfig
+
+    vmat = vmat_query_cost(ProtocolConfig(num_synopses=int(params["synopses"])))
+    naive = int(params["nodes"]) * NAIVE_REPORT_BYTES
+    return {
+        "vmat_bytes": float(vmat),
+        "naive_bytes": float(naive),
+        "naive_over_vmat": naive / vmat,
+    }
+
+
+@scenario(
+    "rounds",
+    description="Theorem 2: O(1) flooding rounds vs set-sampling's Omega(log n)",
+    grid={"nodes": (50, 100, 200, 400), "trace": (0,)},
+    reduced_grid={"nodes": (40, 80), "trace": (0,)},
+)
+def rounds_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """One honest VMAT execution on a random geometric deployment.
+
+    Measures flooding rounds against the set-sampling cost model and
+    snapshots the network's :class:`~repro.metrics.Metrics` accumulator.
+    With ``trace=1`` a :class:`~repro.tracing.Tracer` is attached and
+    event counts are reported — exercised by the campaign tests to prove
+    trace capture works under the parallel runner.
+    """
+    from .. import MinQuery, VMATProtocol, build_deployment, small_test_config
+    from ..baselines import SetSamplingCostModel
+    from ..errors import ReproError
+    from ..topology import random_geometric_topology
+    from ..topology.generators import recommended_radius
+    from ..tracing import Tracer
+
+    n = int(params["nodes"])
+    topology = random_geometric_topology(n, recommended_radius(n), seed=seed)
+    deployment = build_deployment(
+        config=small_test_config(depth_bound=12), topology=topology, seed=seed
+    )
+    tracer = Tracer.attach(deployment.network) if int(params.get("trace", 0)) else None
+    protocol = VMATProtocol(deployment.network)
+    readings = {i: 10.0 + (i % 9) for i in topology.sensor_ids}
+    result = protocol.execute(MinQuery(), readings)
+    if not result.produced_result:
+        raise ReproError(f"honest execution failed to produce a result at n={n}")
+
+    net = deployment.network.metrics.summary()
+    metrics = {
+        "vmat_rounds": float(result.flooding_rounds),
+        "set_sampling_rounds": float(SetSamplingCostModel().flooding_rounds(n)),
+        "net_total_bytes": net["total_bytes"],
+        "net_total_messages": net["total_messages"],
+    }
+    if tracer is not None:
+        counts = tracer.counts()
+        metrics["trace_events"] = float(len(tracer))
+        metrics["trace_transmissions"] = float(counts["transmission"])
+        metrics["trace_broadcasts"] = float(counts["authenticated-broadcast"])
+    return metrics

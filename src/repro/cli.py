@@ -9,9 +9,12 @@
     python -m repro connectivity
     python -m repro demo   [--attack drop|junk|spurious-veto|hide]
                            [--nodes 40] [--seed 7]
+    python -m repro campaign run [--scenario fig7 ...] [--jobs 4]
+    python -m repro campaign resume|report|compare|validate|list
 
 Every subcommand prints the same rows/series the corresponding benchmark
-asserts on (see DESIGN.md §3 for the experiment index).
+asserts on (see DESIGN.md §3 for the experiment index).  ``campaign``
+drives the parallel sweep subsystem (docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
@@ -314,6 +317,182 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# campaign — the parallel sweep subsystem (repro.campaign)
+# ----------------------------------------------------------------------
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from .campaign import CampaignSpec, ScenarioSpec, get_scenario
+
+    if args.spec:
+        with open(args.spec) as handle:
+            return CampaignSpec.from_json(handle.read())
+    scenarios = []
+    for name in args.scenario or ["fig7"]:
+        scn = get_scenario(name)
+        scenarios.append(ScenarioSpec(scenario=name, grid=scn.default_grid(reduced=not args.full)))
+    return CampaignSpec(
+        name=args.name,
+        scenarios=tuple(scenarios),
+        seed=args.seed,
+        replicates=args.replicates,
+        cell_timeout=args.timeout,
+    )
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, run_campaign
+
+    spec = _campaign_spec_from_args(args)
+    store = ResultStore(args.store)
+    result = run_campaign(spec, store, jobs=args.jobs, progress=print)
+    print(
+        f"run {result.run_id}: {result.completed} executed, {result.skipped} resumed, "
+        f"{result.failed} failed in {result.wall_time_s:.2f}s "
+        f"({result.cells_per_sec:.3g} cells/s at --jobs {args.jobs})"
+    )
+    if result.interrupted:
+        return 130
+    return 0 if result.failed == 0 else 1
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, resume_campaign
+
+    store = ResultStore(args.store)
+    run = store.get_run(args.run_id)
+    result = resume_campaign(run, store, jobs=args.jobs, progress=print)
+    print(
+        f"run {result.run_id}: {result.completed} executed, {result.skipped} resumed, "
+        f"{result.failed} failed in {result.wall_time_s:.2f}s"
+    )
+    if result.interrupted:
+        return 130
+    return 0 if result.failed == 0 else 1
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .campaign import ResultStore, bench_payload, render_report, summarize_run
+
+    store = ResultStore(args.store)
+    summary = summarize_run(store.get_run(args.run_id))
+    print(render_report(summary))
+    if args.output:
+        baseline = None
+        if args.baseline:
+            baseline = summarize_run(store.get_run(args.baseline))
+        with open(args.output, "w") as handle:
+            json.dump(bench_payload(summary, baseline), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nbench payload written to {args.output}")
+    return 0
+
+
+def cmd_campaign_compare(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, compare_runs
+
+    store = ResultStore(args.store)
+    report = compare_runs(
+        store.get_run(args.base_run), store.get_run(args.new_run), threshold=args.threshold
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_campaign_validate(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+
+    store = ResultStore(args.store)
+    run = store.get_run(args.run_id)
+    problems = run.validate()
+    if problems:
+        for problem in problems:
+            print(f"INVALID  {problem}")
+        return 1
+    records = run.load_results()
+    print(f"run {run.run_id} is valid ({len(records)} records)")
+    return 0
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, available_scenarios
+
+    store = ResultStore(args.store)
+    runs = store.list_runs()
+    if not runs:
+        print(f"no runs in {args.store}")
+    for run in runs:
+        manifest = run.read_manifest()
+        print(
+            f"{run.run_id}  status={manifest.get('status')}  "
+            f"cells={manifest.get('cells_ok', '?')}/{manifest.get('cells_total', '?')}  "
+            f"created={manifest.get('created_at')}"
+        )
+    print(f"\nscenarios: {', '.join(available_scenarios())}")
+    return 0
+
+
+def _add_campaign_parser(sub) -> None:
+    campaign = sub.add_parser("campaign", help="parallel experiment campaigns")
+    csub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def common(p, jobs: bool = True):
+        p.add_argument("--store", type=str, default=".campaigns",
+                       help="result store root (default .campaigns)")
+        if jobs:
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (1 = inline)")
+
+    p = csub.add_parser("run", help="run (or resume) a campaign spec")
+    p.add_argument("--scenario", action="append",
+                   help="registered scenario name; repeatable (default fig7)")
+    p.add_argument("--spec", type=str, default=None,
+                   help="JSON CampaignSpec file (overrides --scenario)")
+    p.add_argument("--name", type=str, default="campaign")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicates", type=int, default=1,
+                   help="independent seeds per grid point")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-cell time budget in seconds (0 = none)")
+    p.add_argument("--full", action="store_true",
+                   help="use the paper-scale grids instead of the reduced ones")
+    common(p)
+    p.set_defaults(func=cmd_campaign_run)
+
+    p = csub.add_parser("resume", help="continue an interrupted run")
+    p.add_argument("run_id", help="run id, or 'latest'")
+    common(p)
+    p.set_defaults(func=cmd_campaign_resume)
+
+    p = csub.add_parser("report", help="aggregate one run (mean ± stderr)")
+    p.add_argument("run_id", help="run id, or 'latest'")
+    p.add_argument("--output", type=str, default=None,
+                   help="also write a BENCH_campaign.json payload here")
+    p.add_argument("--baseline", type=str, default=None,
+                   help="baseline run id for the speedup figure in --output")
+    common(p, jobs=False)
+    p.set_defaults(func=cmd_campaign_report)
+
+    p = csub.add_parser("compare", help="regression-compare two runs")
+    p.add_argument("base_run")
+    p.add_argument("new_run")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="relative mean shift that counts as a regression")
+    common(p, jobs=False)
+    p.set_defaults(func=cmd_campaign_compare)
+
+    p = csub.add_parser("validate", help="integrity-check a run's store")
+    p.add_argument("run_id", help="run id, or 'latest'")
+    common(p, jobs=False)
+    p.set_defaults(func=cmd_campaign_validate)
+
+    p = csub.add_parser("list", help="list runs and registered scenarios")
+    common(p, jobs=False)
+    p.set_defaults(func=cmd_campaign_list)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -367,6 +546,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compromised", type=int, nargs="+", default=[5])
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=cmd_demo)
+
+    _add_campaign_parser(sub)
 
     return parser
 

@@ -93,6 +93,48 @@ class Metrics:
         self.intervals_elapsed += other.intervals_elapsed
         self.round_log.extend(other.round_log)
 
+    # ------------------------------------------------------------------
+    # Serialization (lossless, JSON-ready)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot; :meth:`from_dict` inverts it losslessly.
+
+        Counter keys (node ids) become strings because JSON objects only
+        key on strings; ``from_dict`` restores them to ``int``.
+        """
+        return {
+            "bytes_sent": {str(k): v for k, v in self.bytes_sent.items()},
+            "bytes_received": {str(k): v for k, v in self.bytes_received.items()},
+            "messages_sent": {str(k): v for k, v in self.messages_sent.items()},
+            "messages_received": {str(k): v for k, v in self.messages_received.items()},
+            "flooding_rounds": self.flooding_rounds,
+            "messages_lost": self.messages_lost,
+            "predicate_tests": self.predicate_tests,
+            "authenticated_broadcasts": self.authenticated_broadcasts,
+            "intervals_elapsed": self.intervals_elapsed,
+            "round_log": [[label, rounds] for label, rounds in self.round_log],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Metrics":
+        """Rebuild an accumulator from :meth:`to_dict` output."""
+
+        def counter(name: str) -> Counter:
+            return Counter({int(k): v for k, v in data.get(name, {}).items()})
+
+        return cls(
+            bytes_sent=counter("bytes_sent"),
+            bytes_received=counter("bytes_received"),
+            messages_sent=counter("messages_sent"),
+            messages_received=counter("messages_received"),
+            flooding_rounds=float(data.get("flooding_rounds", 0.0)),
+            messages_lost=int(data.get("messages_lost", 0)),
+            predicate_tests=int(data.get("predicate_tests", 0)),
+            authenticated_broadcasts=int(data.get("authenticated_broadcasts", 0)),
+            intervals_elapsed=int(data.get("intervals_elapsed", 0)),
+            round_log=[(label, rounds) for label, rounds in data.get("round_log", [])],
+        )
+
     def summary(self) -> Dict[str, float]:
         return {
             "total_bytes": float(self.total_bytes()),

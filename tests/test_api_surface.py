@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.adversary",
     "repro.analysis",
     "repro.baselines",
+    "repro.campaign",
     "repro.core",
     "repro.crypto",
     "repro.keys",

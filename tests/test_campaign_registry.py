@@ -1,0 +1,108 @@
+"""Scenario registry: registration, lookup, payload validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import available_scenarios, get_scenario, scenario
+from repro.errors import ConfigError, ReproError
+
+
+class TestBuiltins:
+    def test_paper_scenarios_are_registered(self):
+        names = available_scenarios()
+        assert {"fig7", "fig8", "comm", "rounds"} <= set(names)
+
+    def test_builtin_grids_are_present(self):
+        for name in ("fig7", "fig8", "comm", "rounds"):
+            scn = get_scenario(name)
+            assert scn.grid, f"{name} lacks a paper-scale grid"
+            assert scn.reduced_grid, f"{name} lacks a reduced grid"
+            assert scn.description
+
+    def test_default_grid_prefers_reduced(self):
+        scn = get_scenario("fig7")
+        assert scn.default_grid(reduced=True) == {
+            k: tuple(v) for k, v in scn.reduced_grid.items()
+        }
+        assert scn.default_grid(reduced=False) == {k: tuple(v) for k, v in scn.grid.items()}
+
+    def test_comm_scenario_reproduces_paper_bytes(self):
+        metrics = get_scenario("comm").run({"nodes": 10_000, "synopses": 100}, seed=0)
+        assert metrics["vmat_bytes"] == 2_400.0  # the paper's 2.4 KB
+        assert metrics["naive_bytes"] >= 80_000.0
+        assert 10 <= metrics["naive_over_vmat"] <= 200
+
+
+class TestRegistration:
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            get_scenario("not-a-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        @scenario("test-dup-xyz", replace=True)
+        def first(params, seed):
+            """First."""
+            return {"x": 1.0}
+
+        with pytest.raises(ConfigError, match="already registered"):
+            @scenario("test-dup-xyz")
+            def second(params, seed):
+                """Second."""
+                return {"x": 2.0}
+
+    def test_replace_allows_redefinition(self):
+        @scenario("test-replace-xyz", replace=True)
+        def first(params, seed):
+            """First."""
+            return {"x": 1.0}
+
+        @scenario("test-replace-xyz", replace=True)
+        def second(params, seed):
+            """Second."""
+            return {"x": 2.0}
+
+        assert get_scenario("test-replace-xyz").run({}, 0) == {"x": 2.0}
+
+    def test_description_falls_back_to_docstring(self):
+        @scenario("test-doc-xyz", replace=True)
+        def documented(params, seed):
+            """One-line summary of the scenario.
+
+            More detail.
+            """
+            return {"x": 1.0}
+
+        assert get_scenario("test-doc-xyz").description == (
+            "One-line summary of the scenario."
+        )
+
+
+class TestPayloadValidation:
+    def test_metrics_are_coerced_to_float(self):
+        @scenario("test-coerce-xyz", replace=True)
+        def ints(params, seed):
+            """Ints out."""
+            return {"count": 3}
+
+        metrics = get_scenario("test-coerce-xyz").run({}, 0)
+        assert metrics == {"count": 3.0}
+        assert isinstance(metrics["count"], float)
+
+    def test_non_dict_payload_rejected(self):
+        @scenario("test-bad-payload-xyz", replace=True)
+        def bad(params, seed):
+            """Bad."""
+            return [1.0]
+
+        with pytest.raises(ReproError, match="non-empty dict"):
+            get_scenario("test-bad-payload-xyz").run({}, 0)
+
+    def test_non_numeric_metric_rejected(self):
+        @scenario("test-bad-metric-xyz", replace=True)
+        def bad(params, seed):
+            """Bad."""
+            return {"label": "high"}
+
+        with pytest.raises(ReproError, match="not a number"):
+            get_scenario("test-bad-metric-xyz").run({}, 0)

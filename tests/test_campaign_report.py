@@ -1,0 +1,161 @@
+"""Aggregation, regression comparison and bench payloads."""
+
+from __future__ import annotations
+
+import math
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    ScenarioSpec,
+    aggregate_records,
+    bench_payload,
+    compare_runs,
+    format_table,
+    render_report,
+    run_campaign,
+    summarize_run,
+)
+from repro.campaign.spec import canonical_json
+
+
+def fake_record(scenario, params, metrics, status="ok", cell_id=None):
+    return {
+        "cell_id": cell_id or f"{scenario}/" + ",".join(f"{k}={v}" for k, v in sorted(params.items())),
+        "scenario": scenario,
+        "params": params,
+        "seed": 1,
+        "status": status,
+        "metrics": metrics,
+        "error": None,
+        "attempts": 1,
+        "wall_time_s": 0.5,
+    }
+
+
+class TestAggregate:
+    def test_groups_replicates_and_computes_stderr(self):
+        records = [
+            fake_record("s", {"n": 10, "replicate": 0}, {"m": 1.0}),
+            fake_record("s", {"n": 10, "replicate": 1}, {"m": 3.0}),
+            fake_record("s", {"n": 20, "replicate": 0}, {"m": 7.0}),
+        ]
+        groups = aggregate_records(records)
+        key10 = ("s", canonical_json({"n": 10}))
+        key20 = ("s", canonical_json({"n": 20}))
+        assert set(groups) == {key10, key20}
+        agg = groups[key10]["m"]
+        assert agg.mean == 2.0 and agg.n == 2
+        # sample stddev = sqrt(2), stderr = sqrt(2)/sqrt(2) = 1
+        assert math.isclose(agg.stderr, 1.0)
+        assert groups[key20]["m"].stderr == 0.0
+
+    def test_failed_records_are_excluded(self):
+        records = [
+            fake_record("s", {"n": 1, "replicate": 0}, {"m": 1.0}),
+            fake_record("s", {"n": 1, "replicate": 1}, {}, status="error"),
+        ]
+        groups = aggregate_records(records)
+        assert groups[("s", canonical_json({"n": 1}))]["m"].n == 1
+
+    def test_rerecorded_cell_takes_latest(self):
+        cell = "s/n=1,replicate=0"
+        records = [
+            fake_record("s", {"n": 1, "replicate": 0}, {"m": 1.0}, cell_id=cell),
+            fake_record("s", {"n": 1, "replicate": 0}, {"m": 9.0}, cell_id=cell),
+        ]
+        groups = aggregate_records(records)
+        agg = groups[("s", canonical_json({"n": 1}))]["m"]
+        assert agg.n == 1 and agg.mean == 9.0
+
+
+def run_twice(tmp_path, seed_b=0):
+    """Two runs of the same grid (optionally different campaign seed)."""
+    store = ResultStore(tmp_path)
+    grid = {"count": (50,), "synopses": (20,), "trials": (10,)}
+    spec_a = CampaignSpec(
+        name="base", seed=0, replicates=2, scenarios=(ScenarioSpec("fig8", grid),)
+    )
+    spec_b = CampaignSpec(
+        name="new", seed=seed_b, replicates=2, scenarios=(ScenarioSpec("fig8", grid),)
+    )
+    a = run_campaign(spec_a, store, jobs=1)
+    b = run_campaign(spec_b, store, jobs=1)
+    return store, store.get_run(a.run_id), store.get_run(b.run_id)
+
+
+class TestCompare:
+    def test_identical_runs_pass_with_zero_regressions(self, tmp_path):
+        _, run_a, run_b = run_twice(tmp_path, seed_b=0)
+        report = compare_runs(run_a, run_b, threshold=0.0)
+        assert report.passed
+        assert report.regressions == [] and report.missing_groups == []
+        assert report.compared > 0
+        assert report.render().endswith("PASS")
+
+    def test_self_comparison_passes(self, tmp_path):
+        _, run_a, _ = run_twice(tmp_path)
+        assert compare_runs(run_a, run_a, threshold=0.0).passed
+
+    def test_shifted_metrics_regress(self, tmp_path):
+        _, run_a, run_b = run_twice(tmp_path, seed_b=99)
+        # Different seeds move the Monte-Carlo means; a zero threshold
+        # must flag every moved metric as a regression.
+        report = compare_runs(run_a, run_b, threshold=0.0)
+        assert not report.passed
+        assert report.regressions
+        assert "REGRESSED" in report.render()
+        # A generous threshold forgives sampling noise.
+        assert compare_runs(run_a, run_b, threshold=5.0).passed
+
+    def test_missing_group_fails(self, tmp_path):
+        store, run_a, _ = run_twice(tmp_path)
+        smaller = CampaignSpec(
+            name="smaller",
+            seed=0,
+            replicates=1,
+            scenarios=(ScenarioSpec("comm", {"nodes": (1_000,), "synopses": (100,)}),),
+        )
+        result = run_campaign(smaller, store, jobs=1)
+        report = compare_runs(run_a, store.get_run(result.run_id))
+        assert not report.passed
+        assert report.missing_groups
+        assert "MISSING" in report.render()
+
+
+class TestSummaryAndPayload:
+    def test_summarize_run_shape(self, tmp_path):
+        _, run_a, _ = run_twice(tmp_path)
+        summary = summarize_run(run_a)
+        assert summary["run_id"] == run_a.run_id
+        assert summary["cells_ok"] == 2
+        assert summary["cells_failed"] == 0
+        assert summary["groups"]
+        for metrics in summary["groups"].values():
+            for agg in metrics.values():
+                assert {"mean", "stderr", "n"} <= set(agg)
+        text = render_report(summary)
+        assert run_a.run_id in text and "stderr" in text
+
+    def test_bench_payload_includes_speedup(self, tmp_path):
+        _, run_a, run_b = run_twice(tmp_path)
+        summary_a, summary_b = summarize_run(run_a), summarize_run(run_b)
+        payload = bench_payload(summary_b, summary_a)
+        assert payload["run_id"] == run_b.run_id
+        assert payload["baseline_run_id"] == run_a.run_id
+        assert "speedup_vs_baseline" in payload
+        assert payload["cells_per_sec"] is not None
+
+    def test_bench_payload_without_baseline(self, tmp_path):
+        _, run_a, _ = run_twice(tmp_path)
+        payload = bench_payload(summarize_run(run_a))
+        assert "speedup_vs_baseline" not in payload
+        assert payload["groups"]
+
+
+class TestFormatTable:
+    def test_alignment_and_float_formatting(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.34567], ["x", 0.5]])
+        assert "=== T ===" in text
+        assert "2.346" in text  # 4 significant digits
+        assert "x" in text

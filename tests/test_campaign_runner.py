@@ -1,0 +1,223 @@
+"""Campaign runner: determinism, resume, retry, timeout, tracing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    ScenarioSpec,
+    run_campaign,
+    resume_campaign,
+    scenario,
+)
+from repro.errors import ReproError
+
+_FLAKY_CALLS = {"n": 0}
+
+
+@scenario("test-flaky", replace=True)
+def flaky_scenario(params, seed):
+    """Fails on its first attempt, succeeds on retry (inline tests only)."""
+    _FLAKY_CALLS["n"] += 1
+    if _FLAKY_CALLS["n"] % 2 == 1:
+        raise RuntimeError("transient failure")
+    return {"value": float(seed % 97)}
+
+
+@scenario("test-slow", replace=True)
+def slow_scenario(params, seed):
+    """Sleeps past any reasonable cell budget."""
+    time.sleep(float(params.get("sleep", 5)))
+    return {"value": 1.0}
+
+
+@scenario("test-broken", replace=True)
+def broken_scenario(params, seed):
+    """Always fails."""
+    raise ValueError("permanently broken")
+
+
+_HEAL_STATE = {"broken": True}
+
+
+@scenario("test-heal", replace=True)
+def healing_scenario(params, seed):
+    """Fails while _HEAL_STATE['broken'] is set, then recovers."""
+    if _HEAL_STATE["broken"]:
+        raise RuntimeError("still broken")
+    return {"value": 1.0}
+
+
+def comm_spec(name: str = "runner-test", replicates: int = 2) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        seed=3,
+        replicates=replicates,
+        scenarios=(
+            ScenarioSpec("comm", {"nodes": (1_000, 10_000), "synopses": (100,)}),
+            ScenarioSpec("fig8", {"count": (50,), "synopses": (20,), "trials": (10,)}),
+        ),
+    )
+
+
+def metrics_by_cell(run):
+    return {
+        r["cell_id"]: (r["seed"], r["metrics"])
+        for r in run.load_results()
+        if r["status"] == "ok"
+    }
+
+
+class TestInlineExecution:
+    def test_completes_all_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = comm_spec()
+        result = run_campaign(spec, store, jobs=1)
+        assert result.completed == len(spec.cells())
+        assert result.failed == 0 and result.skipped == 0
+        assert not result.interrupted
+        assert result.cells_per_sec > 0
+        run = store.get_run(result.run_id)
+        assert run.read_manifest()["status"] == "complete"
+        assert run.validate() == []
+
+    def test_rejects_bad_jobs(self, tmp_path):
+        with pytest.raises(ReproError, match="jobs"):
+            run_campaign(comm_spec(), ResultStore(tmp_path), jobs=0)
+
+    def test_progress_messages_mention_resume_state(self, tmp_path):
+        lines = []
+        store = ResultStore(tmp_path)
+        run_campaign(comm_spec(), store, jobs=1, progress=lines.append)
+        assert any("cells" in line for line in lines)
+        lines.clear()
+        run_campaign(comm_spec(), store, jobs=1, progress=lines.append)
+        assert any("resuming" in line for line in lines)
+
+
+class TestResume:
+    def test_second_run_skips_completed_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = comm_spec()
+        first = run_campaign(spec, store, jobs=1)
+        second = run_campaign(spec, store, jobs=1)
+        assert second.skipped == first.completed
+        assert second.completed == 0
+        # No duplicate records were appended.
+        run = store.get_run(first.run_id)
+        assert len(run.load_results()) == len(spec.cells())
+
+    def test_partial_store_resumes_only_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = comm_spec()
+        full = run_campaign(spec, store, jobs=1)
+        run = store.get_run(full.run_id)
+        # Simulate an interrupt: keep only the first 2 records.
+        lines = run.results_path.read_text().splitlines()[:2]
+        run.results_path.write_text("\n".join(lines) + "\n")
+        resumed = resume_campaign(run, store, jobs=1)
+        assert resumed.skipped == 2
+        assert resumed.completed == len(spec.cells()) - 2
+        assert run.validate() == []
+
+    def test_resumed_cells_reproduce_identical_numbers(self, tmp_path):
+        """Re-running a subset must be bit-identical (stable seeds)."""
+        store_a, store_b = ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        spec = comm_spec()
+        full = run_campaign(spec, store_a, jobs=1)
+        run_a = store_a.get_run(full.run_id)
+        partial = run_campaign(spec, store_b, jobs=1)
+        run_b = store_b.get_run(partial.run_id)
+        assert metrics_by_cell(run_a) == metrics_by_cell(run_b)
+
+
+class TestRobustness:
+    def test_retry_once_recovers_flaky_cell(self, tmp_path):
+        _FLAKY_CALLS["n"] = 0
+        spec = CampaignSpec(
+            name="flaky", scenarios=(ScenarioSpec("test-flaky", {}),)
+        )
+        store = ResultStore(tmp_path)
+        result = run_campaign(spec, store, jobs=1)
+        assert result.completed == 1 and result.failed == 0
+        (record,) = store.get_run(result.run_id).load_results()
+        assert record["status"] == "ok"
+        assert record["attempts"] == 2
+
+    def test_permanent_failure_is_recorded_not_raised(self, tmp_path):
+        spec = CampaignSpec(
+            name="broken", scenarios=(ScenarioSpec("test-broken", {}),)
+        )
+        store = ResultStore(tmp_path)
+        result = run_campaign(spec, store, jobs=1)
+        assert result.completed == 0 and result.failed == 1
+        (record,) = store.get_run(result.run_id).load_results()
+        assert record["status"] == "error"
+        assert "permanently broken" in record["error"]
+        assert record["attempts"] == 2  # retry-once was spent
+
+    def test_cell_timeout_aborts_runaway_cell(self, tmp_path):
+        spec = CampaignSpec(
+            name="slow",
+            cell_timeout=1.0,
+            scenarios=(ScenarioSpec("test-slow", {"sleep": (30,)}),),
+        )
+        store = ResultStore(tmp_path)
+        started = time.perf_counter()
+        result = run_campaign(spec, store, jobs=1)
+        elapsed = time.perf_counter() - started
+        assert result.failed == 1
+        (record,) = store.get_run(result.run_id).load_results()
+        assert record["status"] == "timeout"
+        assert "budget" in record["error"]
+        assert elapsed < 10  # two 1s attempts, not 30s sleeps
+
+    def test_failed_cells_are_retried_on_resume(self, tmp_path):
+        _HEAL_STATE["broken"] = True
+        spec = CampaignSpec(
+            name="heal-resume", scenarios=(ScenarioSpec("test-heal", {}),)
+        )
+        store = ResultStore(tmp_path)
+        first = run_campaign(spec, store, jobs=1)
+        assert first.failed == 1 and first.completed == 0
+        run = store.get_run(first.run_id)
+        assert run.completed_cell_ids() == set()
+        _HEAL_STATE["broken"] = False  # the flake clears up
+        second = run_campaign(spec, store, jobs=1)
+        assert second.completed == 1 and second.skipped == 0
+        assert run.completed_cell_ids()
+
+
+class TestParallelExecution:
+    def test_jobs2_matches_inline_bit_for_bit(self, tmp_path):
+        spec = comm_spec(name="par-test")
+        store_inline = ResultStore(tmp_path / "inline")
+        store_par = ResultStore(tmp_path / "par")
+        inline = run_campaign(spec, store_inline, jobs=1)
+        parallel = run_campaign(spec, store_par, jobs=2)
+        assert parallel.completed == inline.completed == len(spec.cells())
+        run_i = store_inline.get_run(inline.run_id)
+        run_p = store_par.get_run(parallel.run_id)
+        assert metrics_by_cell(run_i) == metrics_by_cell(run_p)
+        assert run_p.validate() == []
+
+
+class TestTraceCapture:
+    def test_rounds_scenario_reports_trace_counts_under_runner(self, tmp_path):
+        spec = CampaignSpec(
+            name="traced",
+            scenarios=(ScenarioSpec("rounds", {"nodes": (20,), "trace": (1,)}),),
+        )
+        store = ResultStore(tmp_path)
+        result = run_campaign(spec, store, jobs=1)
+        assert result.completed == 1
+        (record,) = store.get_run(result.run_id).load_results()
+        metrics = record["metrics"]
+        assert metrics["trace_events"] > 0
+        assert metrics["trace_transmissions"] > 0
+        assert metrics["trace_broadcasts"] >= 3  # tree, query, confirm
+        assert metrics["trace_events"] >= metrics["trace_transmissions"]

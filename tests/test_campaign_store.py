@@ -1,0 +1,158 @@
+"""Result store: manifests, append-only log, resume, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultStore, ScenarioSpec
+from repro.errors import ReproError
+
+
+def small_spec(name: str = "store-test", seed: int = 0) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        seed=seed,
+        replicates=2,
+        scenarios=(ScenarioSpec("comm", {"nodes": (1_000,), "synopses": (100,)}),),
+    )
+
+
+def record_for(cell, status: str = "ok") -> dict:
+    return {
+        "cell_id": cell.cell_id,
+        "scenario": cell.scenario,
+        "params": cell.params_dict(),
+        "seed": cell.seed,
+        "status": status,
+        "metrics": {"vmat_bytes": 2400.0} if status == "ok" else {},
+        "error": None if status == "ok" else "boom",
+        "attempts": 1,
+        "wall_time_s": 0.01,
+    }
+
+
+class TestOpenRun:
+    def test_create_writes_manifest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = small_spec()
+        run, resumed = store.open_run(spec, jobs=3)
+        assert not resumed
+        manifest = run.read_manifest()
+        assert manifest["run_id"] == store.run_id_for(spec)
+        assert manifest["spec_hash"] == spec.spec_hash()
+        assert manifest["status"] == "running"
+        assert manifest["jobs"] == 3
+        assert manifest["cells_total"] == 2
+        assert "git_sha" in manifest and "created_at" in manifest
+
+    def test_reopen_resumes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _, resumed1 = store.open_run(small_spec())
+        _, resumed2 = store.open_run(small_spec())
+        assert (resumed1, resumed2) == (False, True)
+
+    def test_reopen_with_different_spec_same_id_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = small_spec()
+        run, _ = store.open_run(spec)
+        # Corrupt the stored hash to simulate a colliding directory.
+        run.update_manifest(spec_hash="deadbeef")
+        with pytest.raises(ReproError, match="different spec hash"):
+            store.open_run(spec)
+
+    def test_manifest_spec_round_trips(self, tmp_path):
+        spec = small_spec()
+        run, _ = ResultStore(tmp_path).open_run(spec)
+        assert run.spec() == spec
+
+
+class TestResults:
+    def test_append_and_load(self, tmp_path):
+        spec = small_spec()
+        run, _ = ResultStore(tmp_path).open_run(spec)
+        cells = spec.cells()
+        for cell in cells:
+            run.append_result(record_for(cell))
+        loaded = run.load_results()
+        assert [r["cell_id"] for r in loaded] == [c.cell_id for c in cells]
+
+    def test_completed_skips_failures(self, tmp_path):
+        spec = small_spec()
+        run, _ = ResultStore(tmp_path).open_run(spec)
+        ok, failed = spec.cells()
+        run.append_result(record_for(ok, status="ok"))
+        run.append_result(record_for(failed, status="error"))
+        assert run.completed_cell_ids() == {ok.cell_id}
+
+    def test_append_rejects_malformed_record(self, tmp_path):
+        run, _ = ResultStore(tmp_path).open_run(small_spec())
+        with pytest.raises(ReproError, match="missing keys"):
+            run.append_result({"cell_id": "x"})
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        spec = small_spec()
+        run, _ = ResultStore(tmp_path).open_run(spec)
+        run.append_result(record_for(spec.cells()[0]))
+        with open(run.results_path, "a") as handle:
+            handle.write('{"cell_id": "half-writ')  # crash mid-append
+        assert len(run.load_results()) == 1
+        assert any("unparseable" in p for p in run.validate())
+
+
+class TestValidate:
+    def test_clean_run_validates(self, tmp_path):
+        spec = small_spec()
+        run, _ = ResultStore(tmp_path).open_run(spec)
+        for cell in spec.cells():
+            run.append_result(record_for(cell))
+        assert run.validate() == []
+
+    def test_foreign_cell_flagged(self, tmp_path):
+        spec = small_spec()
+        run, _ = ResultStore(tmp_path).open_run(spec)
+        rogue = record_for(spec.cells()[0])
+        rogue["cell_id"] = "comm/nodes=77,replicate=0,synopses=100"
+        run.append_result(rogue)
+        assert any("not in the spec grid" in p for p in run.validate())
+
+    def test_wrong_seed_flagged(self, tmp_path):
+        spec = small_spec()
+        run, _ = ResultStore(tmp_path).open_run(spec)
+        rogue = record_for(spec.cells()[0])
+        rogue["seed"] = 12345
+        run.append_result(rogue)
+        assert any("derived" in p for p in run.validate())
+
+    def test_tampered_spec_hash_flagged(self, tmp_path):
+        run, _ = ResultStore(tmp_path).open_run(small_spec())
+        run.update_manifest(spec_hash="0" * 64)
+        assert any("spec_hash" in p for p in run.validate())
+
+
+class TestRootOperations:
+    def test_get_run_unknown_id(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.open_run(small_spec())
+        with pytest.raises(ReproError, match="unknown run"):
+            store.get_run("nope")
+
+    def test_latest_resolves_newest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.open_run(small_spec("first"))
+        run_b, _ = store.open_run(small_spec("second"))
+        # Same-second creation: "latest" must still resolve to *a* run.
+        latest = store.get_run("latest")
+        assert latest.run_id in {r.run_id for r in store.list_runs()}
+        assert len(store.list_runs()) == 2
+        assert run_b.run_id in {r.run_id for r in store.list_runs()}
+
+    def test_latest_on_empty_store(self, tmp_path):
+        with pytest.raises(ReproError, match="no runs"):
+            ResultStore(tmp_path / "empty").get_run("latest")
+
+    def test_manifest_is_valid_json_on_disk(self, tmp_path):
+        run, _ = ResultStore(tmp_path).open_run(small_spec())
+        raw = json.loads(run.manifest_path.read_text())
+        assert raw["name"] == "store-test"

@@ -8,10 +8,11 @@ import doctest
 import pytest
 
 import repro
+import repro.campaign.registry
 import repro.sim.engine
 import repro.tracing
 
-MODULES_WITH_EXAMPLES = [repro, repro.sim.engine, repro.tracing]
+MODULES_WITH_EXAMPLES = [repro, repro.campaign.registry, repro.sim.engine, repro.tracing]
 
 
 @pytest.mark.parametrize(

@@ -53,3 +53,96 @@ class TestMetrics:
     def test_summary_keys(self):
         summary = Metrics().summary()
         assert {"total_bytes", "flooding_rounds", "predicate_tests"} <= set(summary)
+
+
+def sample_metrics(seed: int) -> Metrics:
+    metrics = Metrics()
+    for i in range(3):
+        metrics.record_transmission(seed + i, seed + i + 1, 10 * (i + 1))
+    metrics.record_flooding_rounds(float(seed), f"phase-{seed}")
+    if seed % 2:
+        metrics.record_predicate_test()
+    else:
+        metrics.record_authenticated_broadcast()
+    metrics.record_intervals(seed)
+    metrics.messages_lost = seed
+    return metrics
+
+
+class TestSerialization:
+    def test_round_trip_is_lossless(self):
+        import json
+
+        original = sample_metrics(3)
+        data = json.loads(json.dumps(original.to_dict()))  # via real JSON
+        restored = Metrics.from_dict(data)
+        assert restored == original
+        assert restored.node_communication(4) == original.node_communication(4)
+        assert restored.summary() == original.summary()
+
+    def test_round_trip_restores_int_node_ids(self):
+        original = sample_metrics(1)
+        restored = Metrics.from_dict(original.to_dict())
+        assert all(isinstance(k, int) for k in restored.bytes_sent)
+
+    def test_empty_round_trip(self):
+        assert Metrics.from_dict(Metrics().to_dict()) == Metrics()
+
+
+class TestMergeAlgebra:
+    def test_merge_is_commutative(self):
+        """a ⊕ b == b ⊕ a on every accumulator.
+
+        The round_log keeps arrival order (a presentation detail), so
+        commutativity there is up to multiset equality.
+        """
+        from collections import Counter
+
+        a, b = sample_metrics(2), sample_metrics(5)
+        ab = Metrics.from_dict(a.to_dict())
+        ab.merge(b)
+        ba = Metrics.from_dict(b.to_dict())
+        ba.merge(a)
+
+        assert ab.bytes_sent == ba.bytes_sent
+        assert ab.bytes_received == ba.bytes_received
+        assert ab.messages_sent == ba.messages_sent
+        assert ab.messages_received == ba.messages_received
+        assert ab.flooding_rounds == ba.flooding_rounds
+        assert ab.messages_lost == ba.messages_lost
+        assert ab.predicate_tests == ba.predicate_tests
+        assert ab.authenticated_broadcasts == ba.authenticated_broadcasts
+        assert ab.intervals_elapsed == ba.intervals_elapsed
+        assert Counter(ab.round_log) == Counter(ba.round_log)
+        assert ab.summary() == ba.summary()
+
+    def test_merge_is_associative_on_summaries(self):
+        a, b, c = sample_metrics(1), sample_metrics(2), sample_metrics(3)
+        left = Metrics.from_dict(a.to_dict())
+        left.merge(b)
+        left.merge(c)
+        bc = Metrics.from_dict(b.to_dict())
+        bc.merge(c)
+        right = Metrics.from_dict(a.to_dict())
+        right.merge(bc)
+        assert left.summary() == right.summary()
+        assert left.bytes_sent == right.bytes_sent
+
+    def test_merge_identity(self):
+        a = sample_metrics(4)
+        merged = Metrics.from_dict(a.to_dict())
+        merged.merge(Metrics())
+        assert merged == a
+
+    def test_per_worker_accumulators_combine_losslessly(self):
+        """The campaign use-case: shard executions, merge, compare."""
+        whole = Metrics()
+        for seed in range(6):
+            whole.merge(sample_metrics(seed))
+        shard_a, shard_b = Metrics(), Metrics()
+        for seed in range(3):
+            shard_a.merge(sample_metrics(seed))
+        for seed in range(3, 6):
+            shard_b.merge(sample_metrics(seed))
+        shard_a.merge(shard_b)
+        assert shard_a == whole

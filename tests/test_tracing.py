@@ -91,6 +91,28 @@ class TestProtocolTracing:
         end = tracer.of_kind("execution-end")[0]
         assert end.fields["outcome"] == "veto-pinpoint"
 
+    def test_jsonl_round_trip_preserves_counts(self):
+        """dump → reload → the per-kind histogram is unchanged."""
+        from collections import Counter
+
+        dep = build_deployment(num_nodes=15, seed=4)
+        tracer = Tracer.attach(dep.network)
+        protocol = VMATProtocol(dep.network)
+        readings = {i: 10.0 + i for i in dep.topology.sensor_ids}
+        protocol.execute(MinQuery(), readings)
+        assert len(tracer) > 0
+
+        reloaded = Tracer.from_jsonl(tracer.to_jsonl())
+        assert len(reloaded) == len(tracer)
+        assert Counter(row["kind"] for row in reloaded) == tracer.counts()
+        # Sequence numbers and fields survive byte-for-byte.
+        by_sequence = {row["sequence"]: row for row in reloaded}
+        for event in tracer:
+            row = by_sequence[event.sequence]
+            assert row["kind"] == event.kind
+            for field_name, value in event.fields.items():
+                assert row[field_name] == value
+
     def test_transmission_events_are_verifiable_data(self):
         dep = build_deployment(num_nodes=12, seed=4)
         tracer = Tracer.attach(dep.network)
