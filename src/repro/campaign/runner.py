@@ -50,18 +50,28 @@ class CellTimeout(Exception):
 def _alarm(seconds: float):
     """Abort the enclosed block after ``seconds`` via SIGALRM.
 
-    A no-op when the budget is 0, the platform lacks ``SIGALRM``
-    (Windows), or we are off the main thread (signals cannot be
-    delivered there) — the retry policy still applies, only the
-    hard-abort does not.
+    When the budget is 0 this is a no-op.  When the platform lacks
+    ``SIGALRM`` (Windows) or we are off the main thread (signals cannot
+    be delivered there), it falls back to **post-hoc wall-clock
+    enforcement**: the block runs to completion, but if it overran the
+    budget a :class:`CellTimeout` is raised afterwards and the cell is
+    recorded as timed out.  The fallback cannot interrupt a runaway
+    cell — only classify it — which is the strongest portable guarantee
+    without a watchdog process.
     """
+    if seconds <= 0:
+        yield
+        return
     usable = (
-        seconds > 0
-        and hasattr(signal, "SIGALRM")
+        hasattr(signal, "SIGALRM")
         and threading.current_thread() is threading.main_thread()
     )
     if not usable:
+        started = time.monotonic()
         yield
+        elapsed = time.monotonic() - started
+        if elapsed > seconds:
+            raise CellTimeout()
         return
 
     def _on_alarm(signum, frame):
@@ -119,6 +129,7 @@ def execute_cell(payload: CellPayload) -> Dict[str, Any]:
         except CellTimeout:
             record["status"] = "timeout"
             record["error"] = f"cell exceeded its {timeout:g}s budget"
+            record["metrics"] = {}  # post-hoc fallback may have partly filled it
         except Exception as exc:  # scenario bodies may fail arbitrarily
             record["status"] = "error"
             record["error"] = f"{type(exc).__name__}: {exc}"

@@ -161,3 +161,93 @@ def rounds_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         metrics["trace_transmissions"] = float(counts["transmission"])
         metrics["trace_broadcasts"] = float(counts["authenticated-broadcast"])
     return metrics
+
+
+@scenario(
+    "chaos",
+    description=(
+        "Benign-failure safety: executions under an injected fault plan "
+        "must degrade (lose messages, go inconclusive) but never revoke"
+    ),
+    grid={
+        "nodes": (36, 64),
+        "profile": ("crash", "partition", "burst", "clock", "mixed"),
+        "executions": (3,),
+    },
+    reduced_grid={
+        "nodes": (16,),
+        "profile": ("crash", "burst", "mixed"),
+        "executions": (2,),
+    },
+)
+def chaos_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """Honest executions on a grid deployment under benign fault injection.
+
+    ``nodes`` must be a perfect square (grid side = sqrt(nodes), base
+    station at the corner).  The fault plan comes from the optional
+    ``fault_plan`` axis (a :class:`~repro.faults.FaultPlan` as canonical
+    JSON — this is what ``campaign run --fault-plan`` injects) or, when
+    absent, from the deterministic :func:`~repro.faults.chaos_plan`
+    preset named by ``profile``.
+
+    The benign-failure safety property is enforced *inside* the cell:
+    any revocation under a benign-only plan raises, failing the cell
+    loudly rather than reporting a quietly-poisoned metric.
+    """
+    import math
+
+    from .. import MinQuery, VMATProtocol, build_deployment, small_test_config
+    from ..errors import ConfigError, ReproError
+    from ..faults import FaultInjector, FaultPlan, chaos_plan
+    from ..topology import grid_topology
+
+    n = int(params["nodes"])
+    side = math.isqrt(n)
+    if side * side != n or side < 2:
+        raise ConfigError(f"chaos 'nodes' must be a perfect square >= 4, got {n}")
+    executions = int(params["executions"])
+    depth_bound = 2 * (side - 1)  # BFS depth of a grid from its corner
+
+    topology = grid_topology(side, side)
+    deployment = build_deployment(
+        config=small_test_config(depth_bound=depth_bound), topology=topology, seed=seed
+    )
+    network = deployment.network
+
+    plan_json = params.get("fault_plan")
+    if plan_json:
+        plan = FaultPlan.from_json(str(plan_json))
+    else:
+        plan = chaos_plan(
+            str(params["profile"]), topology.num_nodes, depth_bound, seed,
+            executions=executions,
+        )
+    FaultInjector(plan, seed=seed).attach(network)
+
+    protocol = VMATProtocol(network)
+    readings = {i: 10.0 + (i % 9) for i in topology.sensor_ids}
+    results_produced = inconclusive = 0
+    for _ in range(executions):
+        result = protocol.execute(MinQuery(), readings)
+        if result.revocations:
+            raise ReproError(
+                f"benign fault plan {plan.name!r} caused revocations "
+                f"{[ (e.kind, e.target) for e in result.revocations ]} — "
+                "an honest sensor was punished for a failure"
+            )
+        if result.produced_result:
+            results_produced += 1
+        else:
+            inconclusive += 1
+
+    net = network.metrics.summary()
+    return {
+        "results_produced": float(results_produced),
+        "inconclusive": float(inconclusive),
+        "revocations": 0.0,  # enforced above; kept for regression diffs
+        "messages_lost": net["messages_lost"],
+        "faults_injected": net["faults_injected"],
+        "crash_intervals": net["crash_intervals"],
+        "partition_intervals": net["partition_intervals"],
+        "flooding_rounds": net["flooding_rounds"],
+    }

@@ -23,13 +23,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from ..errors import ConfigError
+from ..seeding import canonical_json, derive_seed
 
 _SCALARS = (int, float, str, bool)
-
-
-def canonical_json(value: Any) -> str:
-    """Canonical (sorted-key, tight-separator) JSON used for hashing."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
 def derive_cell_seed(campaign_seed: int, scenario: str, params: Mapping[str, Any]) -> int:
@@ -38,11 +34,12 @@ def derive_cell_seed(campaign_seed: int, scenario: str, params: Mapping[str, Any
     The hash covers the campaign seed, the scenario name and *every*
     cell parameter (replicate index included), so a cell's seed depends
     only on what the cell *is* — not on its position in the grid, the
-    worker that runs it, or which other cells exist.
+    worker that runs it, or which other cells exist.  Delegates to
+    :mod:`repro.seeding` so cells, the network loss stream and fault
+    plans all share one SHA-256 derivation scheme (and its material
+    format stays byte-compatible with pre-existing result stores).
     """
-    material = f"{campaign_seed}|{scenario}|{canonical_json(dict(params))}"
-    digest = hashlib.sha256(material.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+    return derive_seed(campaign_seed, scenario, dict(params))
 
 
 def cell_id_for(scenario: str, params: Mapping[str, Any]) -> str:

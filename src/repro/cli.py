@@ -10,11 +10,15 @@
     python -m repro demo   [--attack drop|junk|spurious-veto|hide]
                            [--nodes 40] [--seed 7]
     python -m repro campaign run [--scenario fig7 ...] [--jobs 4]
+                                 [--fault-plan PLAN.json]
     python -m repro campaign resume|report|compare|validate|list
+    python -m repro faults validate|describe PLAN.json
+    python -m repro faults example [--profile mixed] [--seed 0]
 
 Every subcommand prints the same rows/series the corresponding benchmark
 asserts on (see DESIGN.md §3 for the experiment index).  ``campaign``
-drives the parallel sweep subsystem (docs/CAMPAIGNS.md).
+drives the parallel sweep subsystem (docs/CAMPAIGNS.md); ``faults``
+works with declarative fault plans (docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -326,17 +330,52 @@ def _campaign_spec_from_args(args: argparse.Namespace):
 
     if args.spec:
         with open(args.spec) as handle:
-            return CampaignSpec.from_json(handle.read())
-    scenarios = []
-    for name in args.scenario or ["fig7"]:
-        scn = get_scenario(name)
-        scenarios.append(ScenarioSpec(scenario=name, grid=scn.default_grid(reduced=not args.full)))
+            spec = CampaignSpec.from_json(handle.read())
+    else:
+        scenarios = []
+        for name in args.scenario or ["fig7"]:
+            scn = get_scenario(name)
+            scenarios.append(
+                ScenarioSpec(scenario=name, grid=scn.default_grid(reduced=not args.full))
+            )
+        spec = CampaignSpec(
+            name=args.name,
+            scenarios=tuple(scenarios),
+            seed=args.seed,
+            replicates=args.replicates,
+            cell_timeout=args.timeout,
+        )
+    return _with_fault_plan(spec, getattr(args, "fault_plan", None))
+
+
+def _with_fault_plan(spec, plan_path: Optional[str]):
+    """Thread a validated fault plan into every scenario's grid.
+
+    The plan rides as a ``fault_plan`` axis holding its canonical JSON
+    (a single string scalar), so it participates in the spec hash and
+    per-cell seed derivation like any other parameter — same plan, same
+    cells, same numbers.
+    """
+    if not plan_path:
+        return spec
+    from .campaign import CampaignSpec, ScenarioSpec
+    from .faults import FaultPlan
+    from .seeding import canonical_json
+
+    with open(plan_path) as handle:
+        plan = FaultPlan.from_json(handle.read())
+    plan_str = canonical_json(plan.to_dict())
+    scenarios = tuple(
+        ScenarioSpec(scenario=s.scenario, grid={**s.grid, "fault_plan": (plan_str,)})
+        for s in spec.scenarios
+    )
     return CampaignSpec(
-        name=args.name,
-        scenarios=tuple(scenarios),
-        seed=args.seed,
-        replicates=args.replicates,
-        cell_timeout=args.timeout,
+        name=spec.name,
+        scenarios=scenarios,
+        seed=spec.seed,
+        replicates=spec.replicates,
+        cell_timeout=spec.cell_timeout,
+        imports=spec.imports,
     )
 
 
@@ -434,6 +473,73 @@ def cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# faults — declarative fault plans (repro.faults)
+# ----------------------------------------------------------------------
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .faults import FaultPlan, chaos_plan
+
+    if args.faults_command == "example":
+        try:
+            plan = chaos_plan(
+                args.profile, args.nodes, args.depth_bound, args.seed,
+                executions=args.executions,
+            )
+        except ReproError as exc:
+            print(f"ERROR  {exc}")
+            return 1
+        text = plan.to_json() + "\n"
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"plan {plan.name!r} written to {args.output}")
+        else:
+            print(text, end="")
+        return 0
+
+    try:
+        with open(args.plan) as handle:
+            plan = FaultPlan.from_json(handle.read())
+    except (ReproError, ValueError, KeyError, OSError) as exc:
+        print(f"INVALID  {args.plan}: {exc}")
+        return 1
+    if args.faults_command == "validate":
+        print(
+            f"plan {plan.name!r} is valid: {len(plan.events)} event(s), "
+            f"hash {plan.plan_hash()[:12]}, horizon {plan.horizon()} interval(s)"
+        )
+        return 0
+    print(plan.describe())
+    return 0
+
+
+def _add_faults_parser(sub) -> None:
+    faults = sub.add_parser("faults", help="declarative fault-plan tools")
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+
+    p = fsub.add_parser("validate", help="parse + validate a plan file")
+    p.add_argument("plan", help="FaultPlan JSON file")
+    p.set_defaults(func=cmd_faults)
+
+    p = fsub.add_parser("describe", help="human-readable plan summary")
+    p.add_argument("plan", help="FaultPlan JSON file")
+    p.set_defaults(func=cmd_faults)
+
+    p = fsub.add_parser("example", help="emit a deterministic preset chaos plan")
+    p.add_argument("--profile", type=str, default="mixed",
+                   help="crash | partition | burst | clock | mixed")
+    p.add_argument("--nodes", type=int, default=17,
+                   help="total node count including the base station")
+    p.add_argument("--depth-bound", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--executions", type=int, default=2,
+                   help="executions the plan's event horizon should cover")
+    p.add_argument("--output", type=str, default=None)
+    p.set_defaults(func=cmd_faults)
+
+
 def _add_campaign_parser(sub) -> None:
     campaign = sub.add_parser("campaign", help="parallel experiment campaigns")
     csub = campaign.add_subparsers(dest="campaign_command", required=True)
@@ -458,6 +564,9 @@ def _add_campaign_parser(sub) -> None:
                    help="per-cell time budget in seconds (0 = none)")
     p.add_argument("--full", action="store_true",
                    help="use the paper-scale grids instead of the reduced ones")
+    p.add_argument("--fault-plan", type=str, default=None,
+                   help="FaultPlan JSON file injected into every scenario "
+                        "as a 'fault_plan' grid axis (see docs/FAULTS.md)")
     common(p)
     p.set_defaults(func=cmd_campaign_run)
 
@@ -548,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_demo)
 
     _add_campaign_parser(sub)
+    _add_faults_parser(sub)
 
     return parser
 

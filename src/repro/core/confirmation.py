@@ -132,6 +132,14 @@ def _make_veto(node, minima, nonce, depth_bound) -> Optional[VetoMessage]:
     """Build the node's veto for the first violated instance, if any."""
     from ..crypto.mac import compute_mac
 
+    if getattr(node, "crash_suspected", False):
+        # Benign-failure self-awareness (repro.faults): a sensor that
+        # crashed mid-execution or missed an authenticated broadcast
+        # cannot trust its own view of the minima; vetoing on it would
+        # trigger pinpointing over a gap its own radio created.  It
+        # abstains — correctness degrades (its value may be missing from
+        # the answer), safety does not.
+        return None
     if not node.has_valid_level(depth_bound):
         # A sensor without a valid aggregation level cannot name the
         # level field of a veto; it abstains (relevant only under the

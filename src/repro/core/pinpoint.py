@@ -46,7 +46,14 @@ from .predicate_test import (
 
 @dataclass
 class PinpointOutcome:
-    """Result of one pinpointing/revocation run."""
+    """Result of one pinpointing/revocation run.
+
+    ``inconclusive`` is the benign-mode degradation signal: the walk hit
+    an *absence-based* branch (nobody answered, no receipt found) whose
+    blame logic is only sound under reliable links, so under an active
+    fault injector it withholds the revocation instead of risking an
+    honest sensor's keys.  See :class:`Pinpointer` for the split.
+    """
 
     trigger: str  # "veto" | "junk-aggregation" | "junk-confirmation"
     revocations: List[RevocationEvent] = field(default_factory=list)
@@ -54,6 +61,8 @@ class PinpointOutcome:
     blamed_sensor: Optional[int] = None
     steps: int = 0
     tests_run: int = 0
+    inconclusive: bool = False
+    inconclusive_reason: Optional[str] = None
 
     @property
     def revoked_key_indices(self) -> List[int]:
@@ -65,7 +74,24 @@ class PinpointOutcome:
 
 
 class Pinpointer:
-    """Runs the pinpointing protocols of Section VI over a network."""
+    """Runs the pinpointing protocols of Section VI over a network.
+
+    ``benign_mode`` changes what the *absence-based* failure branches do.
+    The paper's blame logic splits in two:
+
+    * **positive-proof branches** — a sensor admitted (under its own
+      sensor key) to an impossible tuple: an interval-``L`` aggregation
+      receipt, originating junk at the max level, originating a spurious
+      veto.  These are sound under arbitrary message loss: the admission
+      itself is the evidence.  They always revoke.
+    * **absence-based branches** — nobody admitted, no receipt was
+      found, a search went unanswered.  Sound only when links are
+      reliable: under benign loss the silence may be a crashed sensor or
+      a dropped predicate-test reply.  In benign mode (a fault injector
+      is attached) these mark the outcome *inconclusive* instead of
+      revoking, so a benign failure never costs an honest sensor its
+      keys; the session simply re-executes.
+    """
 
     def __init__(
         self,
@@ -73,11 +99,13 @@ class Pinpointer:
         adversary,
         depth_bound: int,
         nonce_source: NonceSource,
+        benign_mode: bool = False,
     ) -> None:
         self.network = network
         self.adversary = adversary
         self.depth_bound = depth_bound
         self.nonces = nonce_source
+        self.benign_mode = benign_mode
         self.tests_run = 0
         self._tests_at_start = 0
 
@@ -99,12 +127,12 @@ class Pinpointer:
             edge_key = self._find_edge_key_to_blame(current, level, value, instance)
             if edge_key is None:
                 # Figure 5, step 7: the sensor would not identify any key.
-                self._revoke_sensor(outcome, current, "refused Figure-5 search")
+                self._revoke_sensor_or_defer(outcome, current, "refused Figure-5 search")
                 return self._finish(outcome)
             parent = self._find_parent(edge_key, level, value, instance)
             if parent is None:
                 # Figure 6, steps 2/7/12.
-                self._revoke_key(outcome, edge_key, "no consistent admitter (Figure 6)")
+                self._revoke_key_or_defer(outcome, edge_key, "no consistent admitter (Figure 6)")
                 return self._finish(outcome)
             if level == 1:
                 # The admitted receipt is at aggregation interval L, where
@@ -130,7 +158,7 @@ class Pinpointer:
             outcome.steps += 1
             sender = self._find_junk_agg_sender(edge_key, digest, level)
             if sender is None:
-                self._revoke_key(outcome, edge_key, "nobody admits forwarding junk")
+                self._revoke_key_or_defer(outcome, edge_key, "nobody admits forwarding junk")
                 return self._finish(outcome)
             if level == L:
                 # A level-L sensor has no listening interval, so it must
@@ -141,7 +169,7 @@ class Pinpointer:
             in_key = self._find_junk_agg_in_edge(sender, digest, interval=L - level)
             if in_key is None:
                 # An honest forwarder always has the matching receipt.
-                self._revoke_sensor(outcome, sender, "no receipt for forwarded junk")
+                self._revoke_sensor_or_defer(outcome, sender, "no receipt for forwarded junk")
                 return self._finish(outcome)
             edge_key = in_key
             level += 1
@@ -161,7 +189,7 @@ class Pinpointer:
             outcome.steps += 1
             sender = self._find_junk_conf_sender(edge_key, digest, interval)
             if sender is None:
-                self._revoke_key(outcome, edge_key, "nobody admits forwarding junk veto")
+                self._revoke_key_or_defer(outcome, edge_key, "nobody admits forwarding junk veto")
                 return self._finish(outcome)
             if interval == 1:
                 # Interval-1 senders are vetoers by definition; an honest
@@ -171,7 +199,7 @@ class Pinpointer:
                 return self._finish(outcome)
             in_key = self._find_junk_conf_in_edge(sender, digest, interval - 1)
             if in_key is None:
-                self._revoke_sensor(outcome, sender, "no receipt for forwarded junk veto")
+                self._revoke_sensor_or_defer(outcome, sender, "no receipt for forwarded junk veto")
                 return self._finish(outcome)
             edge_key = in_key
             interval -= 1
@@ -339,9 +367,36 @@ class Pinpointer:
         outcome.blamed_sensor = sensor_id
         outcome.revocations.extend(events)
 
+    def _revoke_key_or_defer(
+        self, outcome: PinpointOutcome, index: int, reason: str
+    ) -> None:
+        """Absence-based key blame: defer (inconclusive) in benign mode."""
+        if self.benign_mode:
+            self._defer(outcome, reason)
+        else:
+            self._revoke_key(outcome, index, reason)
+
+    def _revoke_sensor_or_defer(
+        self, outcome: PinpointOutcome, sensor_id: int, reason: str
+    ) -> None:
+        """Absence-based sensor blame: defer (inconclusive) in benign mode."""
+        if self.benign_mode:
+            self._defer(outcome, reason)
+        else:
+            self._revoke_sensor(outcome, sensor_id, reason)
+
+    def _defer(self, outcome: PinpointOutcome, reason: str) -> None:
+        outcome.inconclusive = True
+        outcome.inconclusive_reason = reason
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            tracer.record(
+                "pinpoint-inconclusive", trigger=outcome.trigger, reason=reason
+            )
+
     def _finish(self, outcome: PinpointOutcome) -> PinpointOutcome:
         outcome.tests_run = self.tests_run - self._tests_at_start
-        if not outcome.revocations:
+        if not outcome.revocations and not outcome.inconclusive:
             raise PinpointError(
                 "pinpointing terminated without revoking anything; "
                 "Theorem 6 guarantees at least one revocation"

@@ -39,12 +39,21 @@ from .tree import TreeFormationResult, form_tree
 
 
 class ExecutionOutcome(enum.Enum):
-    """Terminal state of one Figure-1 execution."""
+    """Terminal state of one Figure-1 execution.
+
+    ``INCONCLUSIVE`` exists only under benign fault injection
+    (:mod:`repro.faults`): the execution neither produced a trustworthy
+    result nor gathered positive proof against anyone — e.g. no
+    aggregate reached the base station through a partition, or
+    pinpointing hit an absence-based branch it may not act on.  The
+    session answers it by re-executing, never by revoking.
+    """
 
     RESULT = "result"
     VETO_PINPOINT = "veto-pinpoint"
     JUNK_AGGREGATION_PINPOINT = "junk-aggregation-pinpoint"
     JUNK_CONFIRMATION_PINPOINT = "junk-confirmation-pinpoint"
+    INCONCLUSIVE = "inconclusive"
 
 
 @dataclass
@@ -53,6 +62,8 @@ class ExecutionResult:
 
     outcome: ExecutionOutcome
     query_name: str
+    # Why an INCONCLUSIVE execution could not conclude (benign mode only).
+    inconclusive_reason: Optional[str] = None
     estimate: Optional[float] = None
     minima: List[float] = field(default_factory=list)
     pinpoint: Optional[PinpointOutcome] = None
@@ -127,6 +138,12 @@ class VMATProtocol:
         if tracer is not None:
             tracer.record("execution-start", query=query.name, depth_bound=L)
 
+        # Benign-failure self-awareness resets at the execution boundary,
+        # *before* the query flood: the query broadcast is part of this
+        # execution and a node that misses it must stay suspected.
+        for node in network.nodes.values():
+            node.crash_suspected = False
+
         # Fresh query nonce, announced with the query (Section IV-B).
         nonce = self.nonces.next()
         network.authenticated_flood("query", query.name, query.num_instances, nonce)
@@ -189,6 +206,20 @@ class VMATProtocol:
             pinpointer = self._pinpointer()
             result.pinpoint = pinpointer.junk_aggregation(message, delivery)
             result.outcome = ExecutionOutcome.JUNK_AGGREGATION_PINPOINT
+            self._degrade_if_inconclusive(result)
+            result.flooding_rounds = network.metrics.flooding_rounds - rounds_before
+            self._trace_outcome(result)
+            return result
+
+        # Benign degradation (repro.faults): nothing at all reached the
+        # base station — a partition or crash wave swallowed every
+        # aggregate.  Broadcasting the (vacuous) minima would make every
+        # surviving sensor veto and push pinpointing into walks that can
+        # only end in absence-based blame; declare the execution
+        # inconclusive instead and let the session retry.
+        if network.fault_injector is not None and all(m is None for m in agg.minima):
+            result.outcome = ExecutionOutcome.INCONCLUSIVE
+            result.inconclusive_reason = "no aggregate reached the base station"
             result.flooding_rounds = network.metrics.flooding_rounds - rounds_before
             self._trace_outcome(result)
             return result
@@ -220,9 +251,22 @@ class VMATProtocol:
             veto, delivery, interval = conf.spurious_veto
             result.pinpoint = pinpointer.junk_confirmation(veto, delivery, interval)
             result.outcome = ExecutionOutcome.JUNK_CONFIRMATION_PINPOINT
+        self._degrade_if_inconclusive(result)
         result.flooding_rounds = network.metrics.flooding_rounds - rounds_before
         self._trace_outcome(result)
         return result
+
+    def _degrade_if_inconclusive(self, result: "ExecutionResult") -> None:
+        """Fold an inconclusive pinpoint walk into the execution outcome.
+
+        Benign mode only: the walk withheld an absence-based revocation
+        (see :class:`~repro.core.pinpoint.Pinpointer`), so the execution
+        as a whole concluded nothing — no result, no one punished.
+        """
+        pinpoint = result.pinpoint
+        if pinpoint is not None and pinpoint.inconclusive and not pinpoint.revocations:
+            result.outcome = ExecutionOutcome.INCONCLUSIVE
+            result.inconclusive_reason = pinpoint.inconclusive_reason
 
     def _trace_outcome(self, result: "ExecutionResult") -> None:
         tracer = getattr(self.network, "tracer", None)
@@ -266,6 +310,11 @@ class VMATProtocol:
                 session.final_estimate = execution.estimate
                 return session
             if not execution.revocations:
+                if execution.outcome is ExecutionOutcome.INCONCLUSIVE:
+                    # Benign degradation (repro.faults): nothing was
+                    # learned and nobody may be blamed; retry.  Theorem 7
+                    # holds against *adversaries*, not crashed radios.
+                    continue
                 raise ProtocolError(
                     "an execution neither produced a result nor revoked "
                     "anything — Theorem 7 violated"
@@ -279,7 +328,17 @@ class VMATProtocol:
     # Helpers
     # ------------------------------------------------------------------
     def _pinpointer(self) -> Pinpointer:
-        return Pinpointer(self.network, self.adversary, self.depth_bound, self.nonces)
+        # Benign mode tracks the fault injector: only when benign
+        # failures are actually possible do the absence-based blame
+        # branches become unsound (and get deferred).  Fault-free runs
+        # keep the paper's strict Theorem-6 behaviour bit-for-bit.
+        return Pinpointer(
+            self.network,
+            self.adversary,
+            self.depth_bound,
+            self.nonces,
+            benign_mode=self.network.fault_injector is not None,
+        )
 
     def _sign_values(
         self, sensor_id: int, values: Sequence[float], nonce: bytes

@@ -1,0 +1,149 @@
+"""Deterministic preset fault plans — the ``chaos`` scenario's fuel.
+
+:func:`chaos_plan` builds a plan from a named *profile* (which kinds of
+benign failure to stress) plus the deployment shape and a seed.  The
+construction draws everything from one :mod:`repro.seeding` stream, so
+the plan — like every other artefact in a campaign cell — is a pure
+function of its identifying parts and reproduces bit-identically on any
+machine or worker count.
+
+All profiles are benign by construction (that is all a
+:class:`~repro.faults.plan.FaultPlan` can express), so a chaos run that
+revokes anyone has, by definition, punished an honest sensor for a
+failure — the exact regression the ``chaos`` campaign scenario exists
+to catch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigError
+from ..seeding import derive_rng
+from .plan import (
+    BroadcastDelay,
+    BroadcastLoss,
+    BurstLoss,
+    ClockDrift,
+    Duplicate,
+    FaultEvent,
+    FaultPlan,
+    LinkDown,
+    NodeCrash,
+    Partition,
+)
+
+#: Known chaos profiles, in documentation order.
+CHAOS_PROFILES: Tuple[str, ...] = ("crash", "partition", "burst", "clock", "mixed")
+
+
+def chaos_plan(
+    profile: str,
+    num_nodes: int,
+    depth_bound: int,
+    seed: int,
+    executions: int = 2,
+    interval_length: float = 1.0,
+) -> FaultPlan:
+    """Build the deterministic preset plan for one chaos profile.
+
+    ``num_nodes`` is the total node count including the base station
+    (sensor ids are ``1..num_nodes-1``); ``depth_bound`` is the
+    deployment's ``L``; ``executions`` sizes the event horizon (each
+    honest execution runs three L-interval phases).  ``interval_length``
+    scales clock-drift magnitudes so "past the guard band" means the
+    same thing the simulated clocks mean by it.
+    """
+    if profile not in CHAOS_PROFILES:
+        known = ", ".join(CHAOS_PROFILES)
+        raise ConfigError(f"unknown chaos profile {profile!r}; known: {known}")
+    if num_nodes < 3:
+        raise ConfigError("chaos plans need at least two sensors")
+
+    rng = derive_rng("chaos-plan", profile, num_nodes, depth_bound, seed, executions)
+    sensors = list(range(1, num_nodes))
+    horizon = max(8, executions * 3 * depth_bound)
+
+    def window(max_length: int) -> Tuple[int, int]:
+        length = rng.randint(2, max(2, max_length))
+        start = rng.randint(1, max(1, horizon - length))
+        return start, start + length
+
+    def crash_events() -> List[FaultEvent]:
+        picks = rng.sample(sensors, min(3, len(sensors)))
+        out: List[FaultEvent] = []
+        for node in picks:
+            start, end = window(depth_bound)
+            out.append(NodeCrash(node=node, start=start, end=end))
+        return out
+
+    def partition_events() -> List[FaultEvent]:
+        side = rng.sample(sensors, min(rng.randint(1, 3), len(sensors)))
+        start, end = window(depth_bound)
+        a = rng.choice(sensors)
+        b = rng.choice([s for s in sensors if s != a] or [a])
+        churn_start, churn_end = window(max(2, depth_bound // 2))
+        out: List[FaultEvent] = [
+            Partition(nodes=tuple(sorted(side)), start=start, end=end)
+        ]
+        if a != b:
+            out.append(LinkDown(a=min(a, b), b=max(a, b), start=churn_start, end=churn_end))
+        return out
+
+    def burst_events() -> List[FaultEvent]:
+        g_start, g_end = window(max(2, depth_bound // 2))
+        t_start, t_end = window(depth_bound)
+        d_start, d_end = window(depth_bound)
+        target = rng.choice(sensors)
+        return [
+            BurstLoss(receiver=None, start=g_start, end=g_end,
+                      loss_rate=round(rng.uniform(0.15, 0.35), 3)),
+            BurstLoss(receiver=target, start=t_start, end=t_end,
+                      loss_rate=round(rng.uniform(0.4, 0.7), 3)),
+            Duplicate(receiver=None, start=d_start, end=d_end,
+                      probability=round(rng.uniform(0.1, 0.3), 3)),
+        ]
+
+    def clock_events() -> List[FaultEvent]:
+        inside, past = rng.sample(sensors, 2)  # num_nodes >= 3 guarantees this
+        i_start, i_end = window(depth_bound)
+        p_start, p_end = window(depth_bound)
+        # One excursion that stays inside the guard band (harmless by
+        # Section IV-A) and one that escapes it (frames land late).
+        return [
+            ClockDrift(node=inside, start=i_start, end=i_end,
+                       drift=round(rng.uniform(0.1, 0.3) * interval_length, 4)),
+            ClockDrift(node=past, start=p_start, end=p_end,
+                       drift=round(rng.uniform(0.8, 1.6) * interval_length, 4)),
+        ]
+
+    def broadcast_events() -> List[FaultEvent]:
+        victim = rng.choice(sensors)
+        return [
+            BroadcastLoss(round=rng.randint(1, max(1, executions)), nodes=(victim,)),
+            BroadcastDelay(round=rng.randint(1, max(1, executions)),
+                           extra_rounds=float(rng.randint(1, 3))),
+        ]
+
+    builders = {
+        "crash": crash_events,
+        "partition": partition_events,
+        "burst": burst_events,
+        "clock": clock_events,
+    }
+    if profile == "mixed":
+        events: List[FaultEvent] = []
+        for name in ("crash", "partition", "burst", "clock"):
+            events.extend(builders[name]())
+        events.extend(broadcast_events())
+    else:
+        events = builders[profile]()
+
+    return FaultPlan(
+        name=f"chaos-{profile}",
+        events=tuple(events),
+        description=(
+            f"preset {profile!r} chaos profile for {num_nodes} nodes "
+            f"(L={depth_bound}, horizon={horizon} intervals, seed={seed})"
+        ),
+    )

@@ -37,6 +37,14 @@ class Metrics:
     authenticated_broadcasts: int = 0
     intervals_elapsed: int = 0
     round_log: List[Tuple[str, float]] = field(default_factory=list)
+    # Fault-injection accounting (repro.faults).  ``faults_injected``
+    # counts activations/occurrences per fault kind ("crash",
+    # "partition", "burst-loss", ...); ``crash_intervals`` accumulates
+    # node-intervals spent crashed (2 nodes down for 3 intervals = 6);
+    # ``partition_intervals`` counts intervals with a partition active.
+    faults_injected: Counter = field(default_factory=Counter)
+    crash_intervals: int = 0
+    partition_intervals: int = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -63,6 +71,27 @@ class Metrics:
 
     def record_intervals(self, count: int) -> None:
         self.intervals_elapsed += count
+
+    def record_lost_transmission(self, sender: int, num_bytes: int) -> None:
+        """A frame that was transmitted but never delivered.
+
+        The sender burns the airtime either way, so the send side is
+        charged exactly as for a delivered frame; only the receive side
+        stays empty.
+        """
+        self.bytes_sent[sender] += num_bytes
+        self.messages_sent[sender] += 1
+        self.messages_lost += 1
+
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """One injected-fault activation or occurrence of ``kind``."""
+        self.faults_injected[kind] += count
+
+    def record_crash_intervals(self, node_intervals: int) -> None:
+        self.crash_intervals += node_intervals
+
+    def record_partition_intervals(self, intervals: int) -> None:
+        self.partition_intervals += intervals
 
     # ------------------------------------------------------------------
     # Reading
@@ -92,6 +121,9 @@ class Metrics:
         self.authenticated_broadcasts += other.authenticated_broadcasts
         self.intervals_elapsed += other.intervals_elapsed
         self.round_log.extend(other.round_log)
+        self.faults_injected.update(other.faults_injected)
+        self.crash_intervals += other.crash_intervals
+        self.partition_intervals += other.partition_intervals
 
     # ------------------------------------------------------------------
     # Serialization (lossless, JSON-ready)
@@ -113,6 +145,9 @@ class Metrics:
             "authenticated_broadcasts": self.authenticated_broadcasts,
             "intervals_elapsed": self.intervals_elapsed,
             "round_log": [[label, rounds] for label, rounds in self.round_log],
+            "faults_injected": dict(self.faults_injected),
+            "crash_intervals": self.crash_intervals,
+            "partition_intervals": self.partition_intervals,
         }
 
     @classmethod
@@ -133,6 +168,11 @@ class Metrics:
             authenticated_broadcasts=int(data.get("authenticated_broadcasts", 0)),
             intervals_elapsed=int(data.get("intervals_elapsed", 0)),
             round_log=[(label, rounds) for label, rounds in data.get("round_log", [])],
+            faults_injected=Counter(
+                {str(k): int(v) for k, v in data.get("faults_injected", {}).items()}
+            ),
+            crash_intervals=int(data.get("crash_intervals", 0)),
+            partition_intervals=int(data.get("partition_intervals", 0)),
         )
 
     def summary(self) -> Dict[str, float]:
@@ -143,4 +183,8 @@ class Metrics:
             "predicate_tests": float(self.predicate_tests),
             "authenticated_broadcasts": float(self.authenticated_broadcasts),
             "intervals_elapsed": float(self.intervals_elapsed),
+            "messages_lost": float(self.messages_lost),
+            "faults_injected": float(sum(self.faults_injected.values())),
+            "crash_intervals": float(self.crash_intervals),
+            "partition_intervals": float(self.partition_intervals),
         }

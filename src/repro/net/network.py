@@ -35,6 +35,7 @@ from ..crypto.mac import compute_mac, verify_mac
 from ..errors import NetworkError, ProtocolError
 from ..keys.registry import BASE_STATION_ID, KeyRegistry
 from ..metrics import Metrics
+from ..seeding import derive_rng
 from ..sim.clock import ClockAssignment
 from ..topology.graph import Topology
 from .message import MAC_BYTES, Payload, message_digest
@@ -109,6 +110,11 @@ class PhaseContext:
             )
         self.current_interval = k
         self.network.metrics.record_intervals(1)
+        injector = self.network.fault_injector
+        if injector is not None:
+            # Global interval index = cumulative slots across all phases;
+            # fault windows are expressed on this axis.
+            injector.on_interval_begin(self.name, self.network.metrics.intervals_elapsed)
 
     # ------------------------------------------------------------------
     # Sending
@@ -197,17 +203,52 @@ class PhaseContext:
             raise NetworkError(
                 f"sender {physical_sender} does not possess pool key {key_index}"
             )
+        wire = payload.wire_size() + MAC_BYTES + EDGE_KEY_INDEX_BYTES
+        injector = network.fault_injector
+        if injector is not None:
+            if injector.node_down(physical_sender):
+                # A crashed sender transmits nothing: no airtime burned,
+                # but the frame the protocol wanted on the air is gone.
+                network.metrics.messages_lost += 1
+                return
+            if injector.node_down(receiver) or injector.link_blocked(
+                physical_sender, receiver
+            ):
+                # Dead receiver or severed link: the sender cannot know
+                # and transmits anyway, so airtime is charged in full.
+                network.metrics.record_lost_transmission(physical_sender, wire)
+                return
         # Residual link loss (extension; off by default — see
-        # NetworkConfig.loss_rate).  The sender still burns the airtime,
-        # so transmitted bytes are charged either way.
+        # NetworkConfig.loss_rate).  The loss draw is independent **per
+        # receiver**: one local broadcast reaching three neighbours makes
+        # three draws, because each receiver's radio fades independently.
+        # The sender still burns the airtime, so the send side is charged
+        # exactly as for a delivered frame.
         if network.config.network.loss_rate > 0.0 and (
             network.loss_rng.random() < network.config.network.loss_rate
         ):
-            network.metrics.bytes_sent[physical_sender] += (
-                payload.wire_size() + MAC_BYTES + EDGE_KEY_INDEX_BYTES
-            )
-            network.metrics.messages_lost += 1
+            network.metrics.record_lost_transmission(physical_sender, wire)
             return
+        if injector is not None:
+            # Injected burst loss stacks on top of residual loss, again
+            # with an independent per-receiver draw (from the injector's
+            # own seeded stream, so plans replay bit-identically).
+            burst = injector.extra_loss_rate(receiver)
+            if burst > 0.0 and injector.rng.random() < burst:
+                network.metrics.record_lost_transmission(physical_sender, wire)
+                network.metrics.record_fault("burst-loss-drop")
+                return
+            shift = injector.clock_interval_shift(physical_sender)
+            if shift:
+                # The sender's clock escaped the guard band: its frame
+                # lands whole intervals late.  Beyond the phase it is
+                # simply gone ("ignored after the L-th interval").
+                if interval + shift > self.num_intervals:
+                    network.metrics.record_lost_transmission(physical_sender, wire)
+                    network.metrics.record_fault("late-frame")
+                    return
+                interval = interval + shift
+                network.metrics.record_fault("late-frame")
         key = network.registry.pool_key(key_index)
         mac = compute_mac(
             key,
@@ -242,6 +283,17 @@ class PhaseContext:
                 key_index=key_index,
                 verified=delivery.verified,
             )
+        if injector is not None:
+            dup = injector.duplicate_probability(receiver)
+            if dup > 0.0 and injector.rng.random() < dup:
+                # Retransmit-with-lost-ack artefact: the receiver sees an
+                # identical second copy.  Only the receive side pays (the
+                # duplicate is the receiver's radio hearing a repeat);
+                # protocol logic must stay idempotent under it.
+                self._pending[interval][receiver].append(delivery)
+                network.metrics.bytes_received[receiver] += delivery.wire_size()
+                network.metrics.messages_received[receiver] += 1
+                network.metrics.record_fault("duplicate")
 
     # ------------------------------------------------------------------
     # Receiving
@@ -298,11 +350,16 @@ class Network:
 
         self._adversary_pool_indices: Optional[FrozenSet[int]] = None
         self._phase_counter = 0
-        import random as _random
-
-        self.loss_rng = _random.Random(("link-loss", seed).__repr__())
+        # Residual-loss stream, derived through the shared SHA-256 scheme
+        # (repro.seeding) so its identity matches campaign-cell seeding.
+        self.loss_rng = derive_rng("link-loss", seed)
         # Optional structured-event recorder (see repro.tracing.Tracer).
         self.tracer = None
+        # Optional benign-fault driver (see repro.faults.FaultInjector);
+        # set by FaultInjector.attach().  Every fault hook below is gated
+        # on this being non-None, so fault-free runs take the exact code
+        # paths they always did.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -378,6 +435,32 @@ class Network:
             exclude={i for i in self.topology.node_ids if i not in allowed}
         )
 
+    def fault_aware_secure_component(self) -> Set[int]:
+        """:meth:`honest_secure_component` minus currently-injected faults.
+
+        With no injector attached this *is* the honest secure component.
+        Otherwise crashed nodes and severed links (churn or partition)
+        are excluded, giving the set of honest sensors a base-station
+        flood can physically reach right now.
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return self.honest_secure_component()
+        revoked = self.registry.revoked_sensors
+        allowed = {
+            i
+            for i in self.topology.node_ids
+            if (i == BASE_STATION_ID or (i in self.nodes and i not in revoked))
+            and not (i != BASE_STATION_ID and injector.node_down(i))
+        }
+        secure = self.topology.subgraph(
+            lambda a, b: self.registry.link_usable(a, b)
+            and not injector.link_blocked(a, b)
+        )
+        return secure.connected_component(
+            exclude={i for i in self.topology.node_ids if i not in allowed}
+        )
+
     def effective_depth_bound(self) -> int:
         """Depth of the honest secure component (<= configured L when the
         deployment assumption holds)."""
@@ -434,8 +517,27 @@ class Network:
         message = self.authority.sign(*payload)
         disclosure = self.authority.disclose(message.index)
         wire = message.wire_size() + disclosure.wire_size()
-        component = self.honest_secure_component()
+        injector = self.fault_injector
+        round_index = self.metrics.authenticated_broadcasts + 1
+        if injector is not None:
+            injector.on_broadcast(round_index)
+            component = self.fault_aware_secure_component()
+        else:
+            component = self.honest_secure_component()
         for node_id, node in self.nodes.items():
+            if injector is not None and (
+                node_id not in component
+                or injector.node_down(node_id)
+                or injector.broadcast_blocked(round_index, node_id)
+            ):
+                # The sensor misses a control message it knows it should
+                # have seen (its chain index will jump at the next round
+                # it does receive), so it abstains from vetoing rather
+                # than acting on a stale view of the execution.
+                node.crash_suspected = True
+                self.metrics.messages_lost += 1
+                self.metrics.record_fault("broadcast-miss")
+                continue
             if node_id not in component:
                 continue  # partitioned sensors cannot be reached (Section III)
             node.verifier.receive_message(message)
@@ -448,6 +550,12 @@ class Network:
             self.metrics.bytes_sent[node_id] += wire * degree
             self.metrics.bytes_received[node_id] += wire
         self.metrics.record_authenticated_broadcast()
+        if injector is not None:
+            extra = injector.broadcast_delay(round_index)
+            if extra:
+                # The [20] primitive retried through a lossy period: the
+                # message still arrives, but the round costs more time.
+                self.metrics.record_flooding_rounds(extra, "broadcast-delayed")
         if self.tracer is not None:
             self.tracer.record(
                 "authenticated-broadcast",

@@ -206,6 +206,12 @@ class HonestNode:
         self.forwarded_veto: bool = False
         # Tree-formation one-time flag
         self.forwarded_beacon: bool = False
+        # Benign-failure self-awareness (repro.faults): set when this
+        # sensor crashed mid-execution or detectably missed an
+        # authenticated broadcast.  A sensor that knows its view of the
+        # execution is incomplete abstains from vetoing rather than
+        # triggering pinpointing on a gap that is its own radio's fault.
+        self.crash_suspected: bool = False
 
     @property
     def sensor_key(self) -> bytes:
@@ -229,6 +235,9 @@ class HonestNode:
         self.parents = []
         self.forwarded_veto = False
         self.forwarded_beacon = False
+        # crash_suspected is deliberately NOT cleared here: the protocol
+        # driver resets it before the query broadcast, which precedes
+        # this call and may itself be the broadcast a node misses.
 
     def has_valid_level(self, depth_bound: int) -> bool:
         return self.level is not None and 1 <= self.level <= depth_bound

@@ -1,0 +1,73 @@
+"""SHA-256-based deterministic seed derivation, shared across subsystems.
+
+Every stochastic component in this repository — the campaign runner's
+per-cell seeds, the network's residual-loss stream, the fault
+injector's burst-loss draws — must derive its randomness the same way,
+or "same seed, same numbers" silently stops being true the moment two
+components collide on Python's default ``hash``-based seeding (which is
+salted per process) or on ad-hoc ``repr`` strings.
+
+The discipline implemented here:
+
+* build a **canonical material string** from the identifying parts
+  (scalars verbatim, mappings as sorted-key JSON), joined with ``|``;
+* hash it with SHA-256;
+* take the first 8 bytes as a non-negative 63-bit integer seed.
+
+The material format is shared with (and byte-compatible with)
+:func:`repro.campaign.spec.derive_cell_seed`, so campaign cells,
+network loss streams and fault plans all sit in one derivation scheme:
+a stream's identity depends only on *what it is*, never on process
+layout, worker count or insertion order.
+
+>>> derive_seed("link-loss", 7) == derive_seed("link-loss", 7)
+True
+>>> derive_seed("link-loss", 7) != derive_seed("link-loss", 8)
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Any, Mapping
+
+#: Mask keeping derived seeds in the non-negative 63-bit range, so they
+#: stay exact in JSON and in every signed-64-bit consumer.
+SEED_MASK = 0x7FFF_FFFF_FFFF_FFFF
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical (sorted-key, tight-separator) JSON used for hashing."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def seed_material(*parts: Any) -> str:
+    """The canonical ``|``-joined material string for a set of parts.
+
+    Scalars (ints, floats, bools, strings, bytes) are rendered with
+    ``str``; mappings are rendered as canonical JSON so key order cannot
+    leak into the hash.  Exposed separately from :func:`derive_seed` so
+    callers can log or assert on the exact material being hashed.
+    """
+    rendered = []
+    for part in parts:
+        if isinstance(part, Mapping):
+            rendered.append(canonical_json(dict(part)))
+        elif isinstance(part, bytes):
+            rendered.append(part.hex())
+        else:
+            rendered.append(str(part))
+    return "|".join(rendered)
+
+
+def derive_seed(*parts: Any) -> int:
+    """Stable 63-bit seed for the given identifying parts."""
+    digest = hashlib.sha256(seed_material(*parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & SEED_MASK
+
+
+def derive_rng(*parts: Any) -> random.Random:
+    """A :class:`random.Random` seeded from :func:`derive_seed`."""
+    return random.Random(derive_seed(*parts))

@@ -23,7 +23,15 @@ from .engine import IntervalSchedule
 
 
 class LocalClock:
-    """A per-sensor clock with a fixed bounded offset from global time."""
+    """A per-sensor clock with a fixed bounded offset from global time.
+
+    ``offset`` is the deployment-time synchronization error and must
+    respect the paper's bound (``|offset| <= Delta / 2``).  ``drift`` is
+    an *injected excursion* on top of it (see :mod:`repro.faults`):
+    unlike the offset it may escape the bound — that is exactly the
+    failure mode the fault layer exists to exercise — so it is excluded
+    from the constructor's validation and defaults to zero.
+    """
 
     def __init__(self, offset: float, config: ClockConfig) -> None:
         if abs(offset) > config.max_error / 2 + 1e-12:
@@ -32,14 +40,20 @@ class LocalClock:
             )
         self.offset = offset
         self.config = config
+        self.drift = 0.0
+
+    @property
+    def effective_offset(self) -> float:
+        """Offset actually in force: synchronization error plus drift."""
+        return self.offset + self.drift
 
     def local_time(self, global_time: float) -> float:
         """What this sensor's clock reads at the given global instant."""
-        return global_time + self.offset
+        return global_time + self.effective_offset
 
     def global_time(self, local_time: float) -> float:
         """The global instant at which this sensor's clock reads ``local_time``."""
-        return local_time - self.offset
+        return local_time - self.effective_offset
 
     def safe_send_time(self, schedule: IntervalSchedule, interval: int) -> float:
         """Global time at which to transmit so receivers see ``interval``.
@@ -57,8 +71,12 @@ class LocalClock:
         global_send = self.global_time(local_midpoint)
         guard = self.config.guard_band
         start, end = schedule.interval_start(interval), schedule.interval_end(interval)
-        # Sanity check the guard-band property rather than silently trusting it.
-        if not (start + guard / 2 <= global_send <= end - guard / 2):
+        # Sanity check the guard-band property rather than silently
+        # trusting it — but only when no drift excursion is injected.
+        # With drift the violation is the *modelled fault*, not a config
+        # bug: the sensor transmits where its broken clock tells it to,
+        # and the frame lands whichever interval that turns out to be.
+        if self.drift == 0.0 and not (start + guard / 2 <= global_send <= end - guard / 2):
             raise SimulationError(
                 "guard-band violation: send time escapes the interval; "
                 "check ClockConfig.interval_length > 2 * max_error"
@@ -103,6 +121,10 @@ class ClockAssignment:
         return len(self.clocks)
 
     def max_pairwise_error(self) -> float:
-        """Largest clock disagreement across all pairs (<= Delta)."""
-        offsets = [clock.offset for clock in self.clocks.values()]
+        """Largest clock disagreement across all pairs.
+
+        Uses *effective* offsets, so the bound ``<= Delta`` holds exactly
+        when no drift excursion (:mod:`repro.faults`) is in force.
+        """
+        offsets = [clock.effective_offset for clock in self.clocks.values()]
         return max(offsets) - min(offsets) if offsets else 0.0

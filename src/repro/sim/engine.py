@@ -52,6 +52,16 @@ class SimulationEngine:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        self._time_hooks: list[Callable[[float], None]] = []
+
+    def add_time_hook(self, hook: Callable[[float], None]) -> None:
+        """Register a callback invoked with the new time on every step.
+
+        Hooks run *before* the event's own callback, so observers (e.g. a
+        :class:`repro.faults.FaultInjector` tracking the current global
+        interval) see a consistent clock from inside event handlers.
+        """
+        self._time_hooks.append(hook)
 
     @property
     def now(self) -> float:
@@ -105,6 +115,8 @@ class SimulationEngine:
         event = heapq.heappop(self._queue)
         self._now = event.time
         self._events_processed += 1
+        for hook in self._time_hooks:
+            hook(self._now)
         event.callback()
         return event
 

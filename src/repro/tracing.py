@@ -16,6 +16,13 @@ True
 
 Events carry only primitive fields, so ``to_jsonl`` round-trips through
 ``json`` without custom encoders.
+
+With a :class:`~repro.faults.FaultInjector` attached to the same
+network, two more event kinds appear: ``"fault"`` (one per fault-event
+activation; the ``fault`` field names the fault kind, alongside the
+event's own fields) and
+``"pinpoint-inconclusive"`` (a benign-mode pinpoint walk withheld an
+absence-based revocation; carries the trigger and reason).
 """
 
 from __future__ import annotations

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.campaign",
     "repro.core",
     "repro.crypto",
+    "repro.faults",
     "repro.keys",
     "repro.net",
     "repro.sim",

@@ -221,3 +221,40 @@ class TestTraceCapture:
         assert metrics["trace_transmissions"] > 0
         assert metrics["trace_broadcasts"] >= 3  # tree, query, confirm
         assert metrics["trace_events"] >= metrics["trace_transmissions"]
+
+
+class TestWallClockFallback:
+    """The no-SIGALRM `_alarm` path: post-hoc wall-clock classification."""
+
+    def _strip_sigalrm(self, monkeypatch):
+        from repro.campaign import runner
+
+        monkeypatch.delattr(runner.signal, "SIGALRM")
+        return runner
+
+    def test_overrun_is_classified_after_the_fact(self, monkeypatch):
+        runner = self._strip_sigalrm(monkeypatch)
+        with pytest.raises(runner.CellTimeout):
+            with runner._alarm(0.01):
+                time.sleep(0.05)
+
+    def test_within_budget_passes(self, monkeypatch):
+        runner = self._strip_sigalrm(monkeypatch)
+        with runner._alarm(30.0):
+            pass
+
+    def test_zero_budget_disables_the_alarm(self, monkeypatch):
+        runner = self._strip_sigalrm(monkeypatch)
+        with runner._alarm(0):
+            time.sleep(0.01)  # would overrun any positive budget check
+
+    def test_timed_out_cell_record_has_no_partial_metrics(self, monkeypatch):
+        from repro.campaign import runner
+
+        monkeypatch.delattr(runner.signal, "SIGALRM")
+        record = runner.execute_cell(
+            ("test-slow", (("sleep", 0.05),), "cell", 1, 0.01, ())
+        )
+        assert record["status"] == "timeout"
+        assert record["metrics"] == {}  # the fallback ran the body; drop its output
+        assert record["attempts"] == 1 + runner.RETRIES

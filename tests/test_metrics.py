@@ -52,7 +52,43 @@ class TestMetrics:
 
     def test_summary_keys(self):
         summary = Metrics().summary()
-        assert {"total_bytes", "flooding_rounds", "predicate_tests"} <= set(summary)
+        assert {
+            "total_bytes", "flooding_rounds", "predicate_tests",
+            "messages_lost", "faults_injected", "crash_intervals",
+            "partition_intervals",
+        } <= set(summary)
+
+
+class TestFaultAccounting:
+    def test_lost_transmission_charges_the_sender(self):
+        metrics = Metrics()
+        metrics.record_lost_transmission(3, 40)
+        assert metrics.bytes_sent[3] == 40
+        assert metrics.messages_sent[3] == 1
+        assert metrics.messages_lost == 1
+        assert metrics.bytes_received == {}  # nothing was delivered
+
+    def test_fault_counters_merge_additively(self):
+        a, b = Metrics(), Metrics()
+        a.record_fault("crash")
+        a.record_crash_intervals(4)
+        b.record_fault("crash", 2)
+        b.record_fault("burst-loss")
+        b.record_partition_intervals(3)
+        a.merge(b)
+        assert a.faults_injected == {"crash": 3, "burst-loss": 1}
+        assert a.crash_intervals == 4
+        assert a.partition_intervals == 3
+        assert a.summary()["faults_injected"] == 4.0
+
+    def test_fault_counters_round_trip(self):
+        original = Metrics()
+        original.record_fault("duplicate", 5)
+        original.record_crash_intervals(7)
+        original.record_partition_intervals(2)
+        restored = Metrics.from_dict(original.to_dict())
+        assert restored == original
+        assert restored.faults_injected["duplicate"] == 5
 
 
 def sample_metrics(seed: int) -> Metrics:
@@ -66,6 +102,10 @@ def sample_metrics(seed: int) -> Metrics:
         metrics.record_authenticated_broadcast()
     metrics.record_intervals(seed)
     metrics.messages_lost = seed
+    metrics.record_fault("crash", seed + 1)
+    metrics.record_fault(f"kind-{seed % 2}")
+    metrics.record_crash_intervals(2 * seed)
+    metrics.record_partition_intervals(seed)
     return metrics
 
 
