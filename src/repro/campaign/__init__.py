@@ -36,7 +36,13 @@ from .report import (
     render_report,
     summarize_run,
 )
-from .runner import RunResult, execute_cell, resume_campaign, run_campaign
+from .runner import (
+    RunResult,
+    execute_cell,
+    resume_campaign,
+    run_campaign,
+    shutdown_worker_pool,
+)
 from .spec import CampaignSpec, Cell, ScenarioSpec, cell_id_for, derive_cell_seed
 from .store import ResultStore, RunStore
 
@@ -65,5 +71,6 @@ __all__ = [
     "resume_campaign",
     "run_campaign",
     "scenario",
+    "shutdown_worker_pool",
     "summarize_run",
 ]

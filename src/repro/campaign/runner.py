@@ -1,9 +1,19 @@
-"""Parallel campaign execution over a multiprocessing worker pool.
+"""Parallel campaign execution over a persistent multiprocessing pool.
 
 The runner fans a spec's cells out across ``--jobs`` spawn-context
 workers (spawn is the fork-safety lowest common denominator: no
-inherited RNG state, no accidentally shared deployments).  Each cell is
-executed by :func:`execute_cell`, which owns the robustness policy:
+inherited RNG state, no accidentally shared deployments).  Workers are
+**persistent**: one pool serves every cell of a run via chunked
+``imap_unordered`` dispatch, imports the spec's modules once per worker
+(not per cell), and is kept alive across consecutive ``run_campaign``
+calls with the same shape — the benchmark harness and multi-campaign
+scripts pay the spawn cost once, not per campaign.  Pool reuse cannot
+change results: per-cell seeds are derived in
+:mod:`repro.campaign.spec` from cell identity alone, and worker-side
+caches (:mod:`repro.perf.cache`) are bit-transparent by contract.
+
+Each cell is executed by :func:`execute_cell`, which owns the
+robustness policy:
 
 * **deterministic seeding** — the cell's seed was derived in
   :mod:`repro.campaign.spec` from ``(campaign_seed, cell_params)``, so
@@ -20,10 +30,12 @@ arrive; ``KeyboardInterrupt`` terminates the pool, marks the manifest
 
 from __future__ import annotations
 
+import atexit
 import importlib
 import math
 import multiprocessing
 import signal
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -40,6 +52,54 @@ from .store import ResultStore, RunStore
 CellPayload = Tuple[str, Tuple[Tuple[str, Any], ...], str, int, float, Tuple[str, ...]]
 
 RETRIES = 1  # retry-once policy for failed/timed-out cells
+
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+
+#: The one live pool (and the (processes, imports) shape it was built
+#: for).  ``run_campaign`` reuses it whenever the shape matches, so
+#: consecutive campaigns in one process skip worker spawn entirely.
+_POOL: Optional[Any] = None
+_POOL_KEY: Optional[Tuple[int, Tuple[str, ...]]] = None
+
+
+def _worker_init(imports: Tuple[str, ...]) -> None:
+    """Pool initializer: import scenario modules once per worker."""
+    for module in imports:
+        importlib.import_module(module)
+
+
+def _worker_pool(processes: int, imports: Tuple[str, ...]):
+    """The persistent spawn-context pool for the given shape."""
+    global _POOL, _POOL_KEY
+    key = (processes, tuple(imports))
+    if _POOL is not None and _POOL_KEY == key:
+        return _POOL
+    shutdown_worker_pool()
+    context = multiprocessing.get_context("spawn")
+    _POOL = context.Pool(
+        processes=processes, initializer=_worker_init, initargs=(tuple(imports),)
+    )
+    _POOL_KEY = key
+    return _POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Terminate the persistent pool (no-op when none is alive).
+
+    Called automatically at interpreter exit and whenever a run is
+    interrupted (a terminated pool must never be reused).
+    """
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+    _POOL = None
+    _POOL_KEY = None
+
+
+atexit.register(shutdown_worker_pool)
 
 
 class CellTimeout(Exception):
@@ -95,7 +155,10 @@ def execute_cell(payload: CellPayload) -> Dict[str, Any]:
     """
     scenario_name, params, cell_id, seed, timeout, imports = payload
     for module in imports:
-        importlib.import_module(module)
+        # Warm workers (and inline runs past their first cell) hit
+        # sys.modules; the lookup keeps per-cell import cost at ~zero.
+        if module not in sys.modules:
+            importlib.import_module(module)
     record: Dict[str, Any] = {
         "cell_id": cell_id,
         "scenario": scenario_name,
@@ -220,17 +283,18 @@ def run_campaign(
             for payload in payloads:
                 consume(execute_cell(payload))
         else:
-            context = multiprocessing.get_context("spawn")
+            # Chunked dispatch over the persistent pool: ~4 chunks queued
+            # per worker keeps everyone busy without head-of-line batching.
             chunksize = max(1, len(payloads) // (jobs * 4))
-            with context.Pool(processes=min(jobs, len(payloads))) as pool:
-                try:
-                    for record in pool.imap_unordered(
-                        execute_cell, payloads, chunksize=chunksize
-                    ):
-                        consume(record)
-                except KeyboardInterrupt:
-                    pool.terminate()
-                    raise
+            pool = _worker_pool(min(jobs, len(payloads)), spec.imports)
+            try:
+                for record in pool.imap_unordered(
+                    execute_cell, payloads, chunksize=chunksize
+                ):
+                    consume(record)
+            except KeyboardInterrupt:
+                shutdown_worker_pool()
+                raise
     except KeyboardInterrupt:
         result.interrupted = True
         say(

@@ -14,6 +14,8 @@
     python -m repro campaign resume|report|compare|validate|list
     python -m repro faults validate|describe PLAN.json
     python -m repro faults example [--profile mixed] [--seed 0]
+    python -m repro bench [--output BENCH_perf.json] [--profile]
+                          [--compare BASELINE.json --threshold 0.5]
 
 Every subcommand prints the same rows/series the corresponding benchmark
 asserts on (see DESIGN.md §3 for the experiment index).  ``campaign``
@@ -515,6 +517,69 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .perf.bench import compare_bench_payloads, run_bench
+
+    try:
+        report = run_bench(
+            repeat=args.repeat,
+            scale=args.scale,
+            profile=args.profile,
+            profile_top=args.top,
+            progress=(None if args.quiet else lambda line: print(f"  {line}")),
+        )
+    except ReproError as exc:
+        print(f"BENCH FAILED  {exc}")
+        return 1
+    print(report.render())
+    payload = report.payload()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nbench payload written to {args.output}")
+    if args.compare:
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"ERROR  cannot read baseline {args.compare}: {exc}")
+            return 1
+        comparison = compare_bench_payloads(baseline, payload, threshold=args.threshold)
+        print()
+        print(comparison.render())
+        if not comparison.passed:
+            return 1
+    return 0
+
+
+def _add_bench_parser(sub) -> None:
+    p = sub.add_parser(
+        "bench",
+        help="hot-path microbenchmarks + e2e cells (bit-identity asserted)",
+    )
+    p.add_argument("--repeat", type=int, default=5,
+                   help="interleaved timing rounds per bench (default 5)")
+    p.add_argument("--scale", type=int, default=32,
+                   help="micro workload size: distinct sensors cycled (default 32)")
+    p.add_argument("--output", type=str, default=None, metavar="BENCH_perf.json",
+                   help="write the JSON payload here")
+    p.add_argument("--compare", type=str, default=None, metavar="BASELINE.json",
+                   help="gate speedup ratios against a recorded payload")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="max tolerated relative speedup drop (default 0.5)")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the optimized e2e cells (off = zero overhead)")
+    p.add_argument("--top", type=int, default=15,
+                   help="hotspot rows shown with --profile (default 15)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-bench progress lines")
+    p.set_defaults(func=cmd_bench)
+
+
 def _add_faults_parser(sub) -> None:
     faults = sub.add_parser("faults", help="declarative fault-plan tools")
     fsub = faults.add_subparsers(dest="faults_command", required=True)
@@ -658,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_campaign_parser(sub)
     _add_faults_parser(sub)
+    _add_bench_parser(sub)
 
     return parser
 

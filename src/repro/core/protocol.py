@@ -23,7 +23,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..crypto.mac import compute_mac, verify_mac
+from ..crypto.encoding import encode_parts
+from ..crypto.mac import compute_mac_message, verify_mac
 from ..crypto.nonce import NonceSource
 from ..errors import ProtocolError
 from ..keys.registry import BASE_STATION_ID
@@ -344,11 +345,20 @@ class VMATProtocol:
         self, sensor_id: int, values: Sequence[float], nonce: bytes
     ) -> List[ReadingMessage]:
         key = self.network.registry.sensor_key(sensor_id)
+        # The MAC'd tuple is (sensor_id, instance, value, nonce); only the
+        # middle two fields vary across the m instances, so encode the
+        # static prefix/suffix once.  Canonical encodings concatenate, so
+        # the stitched message is byte-identical to
+        # encode_parts(sensor_id, instance, value, nonce).
+        prefix = encode_parts(sensor_id)
+        suffix = encode_parts(nonce)
         return [
             ReadingMessage(
                 sensor_id=sensor_id,
                 value=value,
-                mac=compute_mac(key, sensor_id, instance, value, nonce),
+                mac=compute_mac_message(
+                    key, prefix + encode_parts(instance, value) + suffix
+                ),
                 instance=instance,
             )
             for instance, value in enumerate(values)

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..errors import ConfigError
-from .synopses import ABSENT, synopsis_value
+from .synopses import ABSENT, exponential_draws
 
 
 def required_synopses(epsilon: float, delta: float) -> int:
@@ -113,10 +113,12 @@ class SumQuery:
             raise ConfigError(
                 f"SUM readings must be non-negative integers, got {reading!r}"
             )
-        return [
-            synopsis_value(nonce, sensor_id, instance, reading)
-            for instance in range(self.num_synopses)
-        ]
+        if reading <= 0:
+            return [ABSENT] * self.num_synopses
+        # Batch path: one cached draw vector, each element divided exactly
+        # as synopsis_value would (bit-identical; see repro.core.synopses).
+        draws = exponential_draws(nonce, sensor_id, self.num_synopses)
+        return [e / reading for e in draws]
 
     def estimate(self, minima: List[float]) -> float:
         from .synopses import estimate_sum
@@ -154,10 +156,9 @@ class CountQuery:
     def instance_values(self, sensor_id: int, reading: float, nonce: bytes) -> List[float]:
         if not self.predicate(reading):
             return [ABSENT] * self.num_synopses
-        return [
-            synopsis_value(nonce, sensor_id, instance, 1)
-            for instance in range(self.num_synopses)
-        ]
+        # Indicator synopses are ``e_i / 1`` and IEEE division by 1 is
+        # exact, so the cached draws *are* the instance values.
+        return [e / 1 for e in exponential_draws(nonce, sensor_id, self.num_synopses)]
 
     def estimate(self, minima: List[float]) -> float:
         from .synopses import estimate_sum
@@ -203,12 +204,9 @@ class AverageQuery:
         m = self.num_synopses
         if not self.predicate(reading) or reading <= 0 or reading != int(reading):
             return [ABSENT] * (2 * m)
-        sum_part = [
-            synopsis_value(nonce, sensor_id, instance, reading) for instance in range(m)
-        ]
-        count_part = [
-            synopsis_value(nonce, sensor_id, m + instance, 1) for instance in range(m)
-        ]
+        draws = exponential_draws(nonce, sensor_id, 2 * m)
+        sum_part = [e / reading for e in draws[:m]]
+        count_part = [e / 1 for e in draws[m:]]
         return sum_part + count_part
 
     def estimate(self, minima: List[float]) -> float:

@@ -11,17 +11,25 @@ Synopsis generation (Section VIII) needs *verifiable* pseudo-randomness:
 ``prf_uniform`` maps ``(seed parts) -> [0, 1)`` deterministically so a
 synopsis can be recomputed — and therefore checked — by anyone who knows
 the nonce and the claimed reading.
+
+Hot path: every call used to pay a fresh HMAC key schedule via
+``hmac.new``.  The PRF now clones a cached pre-keyed state per secret
+(:func:`repro.crypto.mac.hmac_sha256_digest`), which is bit-for-bit the
+same computation — ``tests/test_golden_vectors.py`` pins the outputs.
 """
 
 from __future__ import annotations
 
-import hmac
-import hashlib
 import random
+import struct
 from typing import Any, List
 
 from ..errors import CryptoError
 from .encoding import encode_parts
+from .mac import _PAIR_VIEW, hmac_sha256_digest, keyed_sha256_pair
+
+#: First 8 digest bytes as a big-endian u64 (no intermediate slice).
+_UNPACK_U64 = struct.Struct(">Q").unpack_from
 
 
 def prf_bytes(secret: bytes, *parts: Any, length: int = 16) -> bytes:
@@ -34,14 +42,26 @@ def prf_bytes(secret: bytes, *parts: Any, length: int = 16) -> bytes:
     if length <= 0:
         raise CryptoError("PRF output length must be positive")
     message = encode_parts(*parts)
+    if length <= 32:
+        pair = _PAIR_VIEW.get(secret)
+        if pair is None:
+            pair = keyed_sha256_pair(secret)
+        h = pair[0].copy()
+        h.update(message)
+        h.update(b"\x00\x00\x00\x00")  # counter 0, big-endian
+        o = pair[1].copy()
+        o.update(h.digest())
+        return o.digest()[:length]
     blocks: List[bytes] = []
+    produced = 0
     counter = 0
-    while sum(len(b) for b in blocks) < length:
-        blocks.append(
-            hmac.new(secret, message + counter.to_bytes(4, "big"), hashlib.sha256).digest()
-        )
+    while produced < length:
+        blocks.append(hmac_sha256_digest(secret, message, counter.to_bytes(4, "big")))
+        produced += 32
         counter += 1
     return b"".join(blocks)[:length]
+
+
 
 
 def derive_key(secret: bytes, label: str, *parts: Any, length: int = 16) -> bytes:
@@ -55,8 +75,17 @@ def prf_uniform(secret: bytes, *parts: Any) -> float:
     Uses 8 PRF bytes (53 bits of which feed the mantissa).  The result is
     strictly positive so it can safely feed ``-log(u)`` transforms.
     """
-    raw = prf_bytes(secret, *parts, length=8)
-    value = int.from_bytes(raw, "big") / 2**64
+    if not secret:
+        raise CryptoError("empty PRF secret")
+    pair = _PAIR_VIEW.get(secret)
+    if pair is None:
+        pair = keyed_sha256_pair(secret)
+    h = pair[0].copy()
+    h.update(encode_parts(*parts))
+    h.update(b"\x00\x00\x00\x00")  # prf_bytes counter 0
+    o = pair[1].copy()
+    o.update(h.digest())
+    value = _UNPACK_U64(o.digest())[0] / 2**64
     # Avoid exactly 0.0 (probability 2^-64 but would break log()).
     return value if value > 0.0 else 2.0**-64
 

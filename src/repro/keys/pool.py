@@ -11,6 +11,13 @@ from __future__ import annotations
 from ..config import KeyConfig
 from ..crypto.prf import derive_key
 from ..errors import KeyManagementError
+from ..perf.cache import LRUCache
+
+#: Derived keys, shared across every KeyPool instance (keys are keyed on
+#: the master secret, so distinct deployments cannot collide and repeat
+#: deployments of the same master hit warm entries).  A key's bytes are
+#: a pure PRF of (master, label, id) — caching is bit-transparent.
+_DERIVED_KEYS = LRUCache("derived-keys", maxsize=32768)
 
 
 class KeyPool:
@@ -32,13 +39,25 @@ class KeyPool:
             raise KeyManagementError(
                 f"pool index {index} out of range [0, {self.config.pool_size})"
             )
-        return derive_key(self._master, "pool-key", index, length=self.config.key_length)
+        cache_key = (self._master, "pool-key", index, self.config.key_length)
+        key = _DERIVED_KEYS.get(cache_key)
+        if key is None:
+            key = derive_key(self._master, "pool-key", index, length=self.config.key_length)
+            _DERIVED_KEYS.put(cache_key, key)
+        return key
 
     def sensor_key(self, sensor_id: int) -> bytes:
         """The unique key a sensor shares with the base station."""
         if sensor_id < 0:
             raise KeyManagementError(f"invalid sensor id {sensor_id}")
-        return derive_key(self._master, "sensor-key", sensor_id, length=self.config.key_length)
+        cache_key = (self._master, "sensor-key", sensor_id, self.config.key_length)
+        key = _DERIVED_KEYS.get(cache_key)
+        if key is None:
+            key = derive_key(
+                self._master, "sensor-key", sensor_id, length=self.config.key_length
+            )
+            _DERIVED_KEYS.put(cache_key, key)
+        return key
 
     def broadcast_chain_seed(self) -> bytes:
         """Seed of the base station's authenticated-broadcast hash chain."""

@@ -15,17 +15,38 @@ from typing import FrozenSet, List, Tuple
 from ..config import KeyConfig
 from ..crypto.prf import derive_key, sample_distinct_indices
 from ..errors import KeyManagementError
+from ..perf.cache import LRUCache
 from .pool import KeyPool
+
+#: Ring seeds keyed by ``(master, sensor_id)`` and expanded selections
+#: keyed by ``(seed, pool_size, ring_size)``.  Every fresh deployment in
+#: a Monte-Carlo sweep re-derives the same rings; the seed is a pure
+#: function of its key and the expansion a pure function of (seed,
+#: config), so caching is bit-transparent.
+_RING_SEEDS = LRUCache("ring-seeds", maxsize=16384)
+_RING_SELECTIONS = LRUCache("ring-selections", maxsize=4096)
 
 
 def ring_seed(master_secret: bytes, sensor_id: int) -> bytes:
     """The announceable seed determining one sensor's ring selection."""
-    return derive_key(master_secret, "ring-seed", sensor_id, length=16)
+    key = (master_secret, sensor_id)
+    seed = _RING_SEEDS.get(key)
+    if seed is None:
+        seed = derive_key(master_secret, "ring-seed", sensor_id, length=16)
+        _RING_SEEDS.put(key, seed)
+    return seed
 
 
 def ring_indices_from_seed(seed: bytes, config: KeyConfig) -> List[int]:
     """Expand a ring seed into the sorted pool indices it selects."""
-    return sample_distinct_indices(seed, config.pool_size, config.ring_size)
+    key = (seed, config.pool_size, config.ring_size)
+    indices = _RING_SELECTIONS.get(key)
+    if indices is None:
+        indices = tuple(
+            sample_distinct_indices(seed, config.pool_size, config.ring_size)
+        )
+        _RING_SELECTIONS.put(key, indices)
+    return list(indices)
 
 
 class KeyRing:

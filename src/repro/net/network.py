@@ -31,7 +31,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..config import ExperimentConfig
-from ..crypto.mac import compute_mac, verify_mac
+from ..crypto.encoding import encode_parts
+from ..crypto.mac import compute_mac_message, verify_mac_message
 from ..errors import NetworkError, ProtocolError
 from ..keys.registry import BASE_STATION_ID, KeyRegistry
 from ..metrics import Metrics
@@ -42,6 +43,29 @@ from .message import MAC_BYTES, Payload, message_digest
 from .node import HonestNode
 
 EDGE_KEY_INDEX_BYTES = 2
+
+#: Cached canonical encoding of the edge-MAC domain tag.  Encodings are
+#: concatenative (``encode_parts(*p)`` is the join of each field's
+#: encoding), so stitching cached static prefixes to per-frame fields
+#: reproduces ``encode_parts("edge", sender, receiver, phase, interval,
+#: payload_bytes)`` byte-for-byte.
+_EDGE_TAG_ENCODED = encode_parts("edge")
+
+
+def _edge_mac_message(
+    claimed_sender: int,
+    receiver: int,
+    phase_name_encoded: bytes,
+    interval: int,
+    payload_bytes: bytes,
+) -> bytes:
+    """The canonical bytes under every link-layer edge MAC."""
+    return (
+        _EDGE_TAG_ENCODED
+        + encode_parts(claimed_sender, receiver)
+        + phase_name_encoded
+        + encode_parts(interval, payload_bytes)
+    )
 
 
 @dataclass(frozen=True)
@@ -82,6 +106,9 @@ class PhaseContext:
             raise NetworkError("a phase needs at least one interval")
         self.network = network
         self.name = name
+        # Static per-phase slice of the edge-MAC message (see
+        # _edge_mac_message); encoded once instead of per frame.
+        self._name_encoded = encode_parts(name)
         self.num_intervals = num_intervals
         # Monotone per-network sequence number: a stable identity for
         # "have I acted in this phase yet" bookkeeping (object ids get
@@ -164,9 +191,13 @@ class PhaseContext:
         self._payloads_per_interval[(sender, interval)] += 1
 
         origin = claimed_sender if claimed_sender is not None else sender
+        # One local broadcast, one canonical encoding: every receiver's
+        # edge MAC covers the same payload bytes.
+        payload_bytes = payload.canonical_bytes()
         for receiver in receivers:
             self._transmit_one(
-                sender, origin, receiver, payload, interval, key_index, allow_nonneighbor
+                sender, origin, receiver, payload, interval, key_index,
+                allow_nonneighbor, payload_bytes,
             )
         return True
 
@@ -179,6 +210,7 @@ class PhaseContext:
         interval: int,
         key_index: Optional[int],
         allow_nonneighbor: bool,
+        payload_bytes: Optional[bytes] = None,
     ) -> None:
         network = self.network
         if receiver == physical_sender:
@@ -250,15 +282,14 @@ class PhaseContext:
                 interval = interval + shift
                 network.metrics.record_fault("late-frame")
         key = network.registry.pool_key(key_index)
-        mac = compute_mac(
-            key,
-            "edge",
-            claimed_sender,
-            receiver,
-            self.name,
-            interval,
-            payload.canonical_bytes(),
+        if payload_bytes is None:
+            payload_bytes = payload.canonical_bytes()
+        # Encode the MAC'd tuple once; the sender's MAC and the
+        # receiver's verification share the exact same bytes.
+        message = _edge_mac_message(
+            claimed_sender, receiver, self._name_encoded, interval, payload_bytes
         )
+        mac = compute_mac_message(key, message)
         delivery = Delivery(
             sender=claimed_sender,
             receiver=receiver,
@@ -266,8 +297,7 @@ class PhaseContext:
             key_index=key_index,
             edge_mac=mac,
             interval=interval,
-            verified=network.receiver_accepts(receiver, key_index, mac, claimed_sender,
-                                              self.name, interval, payload),
+            verified=network._accepts_message(receiver, key_index, mac, message),
         )
         self._pending[interval][receiver].append(delivery)
         network.metrics.record_transmission(physical_sender, receiver, delivery.wire_size())
@@ -490,6 +520,19 @@ class Network:
         payload: Payload,
     ) -> bool:
         """Whether an honest receiver's link layer accepts this frame."""
+        message = _edge_mac_message(
+            claimed_sender,
+            receiver,
+            encode_parts(phase_name),
+            interval,
+            payload.canonical_bytes(),
+        )
+        return self._accepts_message(receiver, key_index, mac, message)
+
+    def _accepts_message(
+        self, receiver: int, key_index: int, mac: bytes, message: bytes
+    ) -> bool:
+        """:meth:`receiver_accepts` over the pre-encoded edge-MAC bytes."""
         registry = self.registry
         if registry.revocation.is_key_revoked(key_index):
             return False
@@ -499,10 +542,7 @@ class Network:
             if not self.nodes[receiver].holds_pool_key(key_index):
                 return False
         key = registry.pool_key(key_index)
-        return verify_mac(
-            key, mac, "edge", claimed_sender, receiver, phase_name, interval,
-            payload.canonical_bytes(),
-        )
+        return verify_mac_message(key, mac, message)
 
     def authenticated_flood(self, *payload: Any) -> Tuple[Any, ...]:
         """Flood an authenticated base-station message to all honest

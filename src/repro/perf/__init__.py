@@ -1,0 +1,44 @@
+"""repro.perf — the bit-identical hot-path optimization layer.
+
+This package owns two things:
+
+* :mod:`~repro.perf.cache` — the bounded-LRU infrastructure behind
+  every hot-path cache in the repository (pre-keyed HMAC states,
+  synopsis draw vectors, ring selections, derived pool keys), with a
+  global enable/disable switch so the un-cached reference path stays
+  one context manager away;
+* :mod:`~repro.perf.bench` — the microbenchmark harness behind
+  ``python -m repro bench``: it times each hot path against an inline
+  reference implementation, times end-to-end campaign cells, asserts
+  the bit-identical contract while doing so, and writes/compares
+  ``BENCH_perf.json`` payloads with the campaign threshold logic.
+
+The layer-wide contract (see docs/PERFORMANCE.md): **no optimization may
+change any observable byte** — MACs, PRF outputs, synopsis floats,
+canonical encodings, per-cell seeds and metrics must be identical with
+the caches enabled, disabled, cold or warm.  Golden-vector tests
+(``tests/test_golden_vectors.py``) pin the exact outputs; the chaos
+campaign's zero-tolerance store diff pins the end-to-end behaviour.
+"""
+
+from __future__ import annotations
+
+from .cache import (
+    LRUCache,
+    cache_stats,
+    caching_enabled,
+    clear_caches,
+    disabled,
+    registered_caches,
+    set_caching,
+)
+
+__all__ = [
+    "LRUCache",
+    "cache_stats",
+    "caching_enabled",
+    "clear_caches",
+    "disabled",
+    "registered_caches",
+    "set_caching",
+]

@@ -1,0 +1,850 @@
+"""Microbenchmark harness for the bit-identical optimization layer.
+
+Every bench pairs the **deployed** hot path against a **reference**
+implementation copied verbatim from the pre-optimization sources (git
+history is the provenance: the reference functions below reproduce the
+modules as they stood before ``repro.perf`` existed).  Before any
+timing happens the harness asserts, input by input, that the two paths
+produce byte-identical outputs — a bench that fails that assertion
+never reports a number.
+
+Two layers are measured:
+
+* **micro** — the per-call hot paths (MAC signing/edge batches, PRF
+  draws, synopsis generation/verification, canonical encoding, ring
+  expansion), timed interleaved (reference round, optimized round,
+  repeat) so machine drift hits both sides equally; the best round per
+  side is reported.
+* **e2e** — whole campaign cells (``fig7``/``fig8``/``chaos`` reduced
+  grids) run twice on the same build: once with every cache disabled
+  (:func:`repro.perf.cache.disabled` — the reference path) and once
+  warm.  The metrics dictionaries of both runs must be equal, which is
+  the end-to-end bit-identity check, and the wall-time ratio is the
+  layer's deployed speedup.
+
+``python -m repro bench`` drives this module, writes
+``BENCH_perf.json`` and can gate regressions against a committed
+payload via :func:`compare_bench_payloads` (reusing the campaign
+comparison report).  Comparisons gate on **speedup ratios**, not
+absolute microseconds: both sides of a ratio are measured on the same
+machine in the same process, so the ratio travels across hardware
+while raw timings do not.
+
+Profiling (``--profile``) wraps only the e2e cells in ``cProfile`` and
+renders a top-N hotspot table.  The profiler object is created only
+when profiling is requested; the unprofiled path is untouched.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import hmac as _hmac
+import io
+import math
+import pstats
+import random
+import struct
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from .cache import cache_stats, clear_caches, disabled
+
+# ----------------------------------------------------------------------
+# Reference implementations (pre-optimization code, kept verbatim)
+# ----------------------------------------------------------------------
+# These mirror src/repro/crypto/{encoding,mac,prf}.py and
+# src/repro/core/synopses.py as of the commit preceding the perf layer.
+# Do not "improve" them: their job is to be the baseline.
+
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_BOOL = b"t"
+_TAG_NONE = b"n"
+_TAG_TUPLE = b"T"
+
+
+def _ref_length_prefix(payload: bytes) -> bytes:
+    if len(payload) > 0xFFFFFFFF:
+        raise ReproError("field too long to encode")
+    return struct.pack(">I", len(payload)) + payload
+
+
+def _ref_encode_one(part: Any) -> bytes:
+    # bool must be tested before int (bool is an int subclass).
+    if part is None:
+        return _TAG_NONE + _ref_length_prefix(b"")
+    if isinstance(part, bool):
+        payload = b"\x01" if part else b"\x00"
+        return _TAG_BOOL + _ref_length_prefix(payload)
+    if isinstance(part, int):
+        payload = part.to_bytes((part.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return _TAG_INT + _ref_length_prefix(payload)
+    if isinstance(part, float):
+        return _TAG_FLOAT + _ref_length_prefix(struct.pack(">d", part))
+    if isinstance(part, str):
+        return _TAG_STR + _ref_length_prefix(part.encode("utf-8"))
+    if isinstance(part, (bytes, bytearray)):
+        return _TAG_BYTES + _ref_length_prefix(bytes(part))
+    if isinstance(part, (tuple, list)):
+        inner = _ref_encode_parts(*part)
+        return _TAG_TUPLE + _ref_length_prefix(inner)
+    raise ReproError(f"cannot canonically encode value of type {type(part).__name__}")
+
+
+def _ref_encode_parts(*parts: Any) -> bytes:
+    chunks: List[bytes] = []
+    for part in parts:
+        chunks.append(_ref_encode_one(part))
+    return b"".join(chunks)
+
+
+def _ref_compute_mac(key: bytes, *parts: Any, length: int = 8) -> bytes:
+    if not key:
+        raise ReproError("empty MAC key")
+    if not 4 <= length <= 32:
+        raise ReproError(f"MAC length {length} out of range [4, 32]")
+    digest = _hmac.new(key, _ref_encode_parts(*parts), hashlib.sha256).digest()
+    return digest[:length]
+
+
+def _ref_verify_mac(key: bytes, mac: bytes, *parts: Any) -> bool:
+    if not key:
+        raise ReproError("empty MAC key")
+    if not mac:
+        return False
+    expected = _ref_compute_mac(key, *parts, length=len(mac))
+    return _hmac.compare_digest(expected, mac)
+
+
+def _ref_prf_bytes(secret: bytes, *parts: Any, length: int = 16) -> bytes:
+    if not secret:
+        raise ReproError("empty PRF secret")
+    if length <= 0:
+        raise ReproError("PRF output length must be positive")
+    message = _ref_encode_parts(*parts)
+    blocks: List[bytes] = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(
+            _hmac.new(secret, message + counter.to_bytes(4, "big"), hashlib.sha256).digest()
+        )
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _ref_derive_key(secret: bytes, label: str, *parts: Any, length: int = 16) -> bytes:
+    return _ref_prf_bytes(secret, label, *parts, length=length)
+
+
+def _ref_prf_uniform(secret: bytes, *parts: Any) -> float:
+    raw = _ref_prf_bytes(secret, *parts, length=8)
+    value = int.from_bytes(raw, "big") / 2**64
+    return value if value > 0.0 else 2.0**-64
+
+
+_SYNOPSIS_DOMAIN = b"vmat-synopsis-prg"
+_ABSENT = float("inf")
+
+
+def _ref_exponential_draw(nonce: bytes, sensor_id: int, instance: int) -> float:
+    u = _ref_prf_uniform(_SYNOPSIS_DOMAIN, nonce, sensor_id, instance)
+    return -math.log(u)
+
+
+def _ref_synopsis_value(nonce: bytes, sensor_id: int, instance: int, reading: float) -> float:
+    if reading <= 0:
+        return _ABSENT
+    return _ref_exponential_draw(nonce, sensor_id, instance) / reading
+
+
+def _ref_invert_synopsis(
+    nonce: bytes,
+    sensor_id: int,
+    instance: int,
+    value: float,
+    reading_min: int,
+    reading_max: int,
+) -> Optional[int]:
+    if value == _ABSENT:
+        return None
+    if value <= 0 or not math.isfinite(value):
+        return None
+    e = _ref_exponential_draw(nonce, sensor_id, instance)
+    candidate = e / value
+    for reading in {math.floor(candidate), math.ceil(candidate), round(candidate)}:
+        if reading <= 0:
+            continue
+        if reading_min <= reading <= reading_max and math.isclose(
+            _ref_synopsis_value(nonce, sensor_id, instance, reading),
+            value,
+            rel_tol=0.0,
+            abs_tol=0.0,
+        ):
+            return int(reading)
+    return None
+
+
+def _ref_verify_synopsis(
+    nonce: bytes,
+    sensor_id: int,
+    instance: int,
+    value: float,
+    reading_min: int,
+    reading_max: int,
+) -> bool:
+    if value == _ABSENT:
+        return True
+    return (
+        _ref_invert_synopsis(nonce, sensor_id, instance, value, reading_min, reading_max)
+        is not None
+    )
+
+
+def _ref_ring_indices(master_secret: bytes, sensor_id: int, pool: int, ring: int) -> List[int]:
+    seed = _ref_prf_bytes(master_secret, "ring-seed", sensor_id, length=16)
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(pool), ring))
+
+
+# ----------------------------------------------------------------------
+# Micro benches
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MicroBench:
+    """One paired (reference, optimized) hot-path measurement.
+
+    ``kind`` groups benches for reporting and gating:
+
+    * ``crypto`` — the deployed crypto call-site patterns (signing a
+      sensor's interval, verifying a minimum, edge-MACing a broadcast,
+      key derivation, synopsis draws).  These carry the >=3x target:
+      their reference sides re-do work the optimization layer now
+      caches or shares, exactly as the pre-optimization call sites did.
+    * ``primitive`` — single raw calls (one ``compute_mac``, one
+      ``prf_bytes``) with nothing to amortize; reported for honesty
+      (expect ~2.5x from state caching alone), no fixed target.
+    * ``structural`` — non-crypto hot paths (encoding, synopsis
+      inversion); reported, no fixed target.
+    """
+
+    name: str
+    kind: str
+    ops_per_round: int
+    reference: Callable[[], Any]
+    optimized: Callable[[], Any]
+
+
+@dataclass
+class MicroResult:
+    name: str
+    kind: str
+    ref_us: float
+    opt_us: float
+    speedup: float
+    ops_per_round: int
+
+
+def _identical(a: Any, b: Any) -> bool:
+    """Equality that also distinguishes float bit patterns via repr."""
+    if a == b:
+        return True
+    return repr(a) == repr(b)
+
+
+def _run_micro(bench: MicroBench, repeat: int) -> MicroResult:
+    ref_out = bench.reference()
+    opt_out = bench.optimized()
+    if not _identical(ref_out, opt_out):
+        raise ReproError(
+            f"bench {bench.name!r}: reference and optimized outputs differ — "
+            "the bit-identical contract is broken; refusing to time"
+        )
+    best_ref = math.inf
+    best_opt = math.inf
+    # Interleave rounds so slow-machine drift cannot favor one side.
+    for _ in range(repeat):
+        started = time.perf_counter()
+        bench.reference()
+        best_ref = min(best_ref, time.perf_counter() - started)
+        started = time.perf_counter()
+        bench.optimized()
+        best_opt = min(best_opt, time.perf_counter() - started)
+    ref_us = best_ref / bench.ops_per_round * 1e6
+    opt_us = best_opt / bench.ops_per_round * 1e6
+    return MicroResult(
+        name=bench.name,
+        kind=bench.kind,
+        ref_us=round(ref_us, 4),
+        opt_us=round(opt_us, 4),
+        speedup=round(ref_us / opt_us, 2) if opt_us > 0 else math.inf,
+        ops_per_round=bench.ops_per_round,
+    )
+
+
+def _build_micro_benches(scale: int) -> List[MicroBench]:
+    """The micro suite over deterministic workloads (``scale`` sizes them).
+
+    Crypto benches replicate the deployed call sites end to end: their
+    reference sides re-derive keys, re-encode tuples and re-canonicalize
+    payloads exactly where the pre-optimization code did
+    (``protocol._sign_values`` + ``network._transmit_one`` /
+    ``receiver_accepts`` / ``protocol._verify_minimum`` as of the commit
+    preceding this layer).
+    """
+    from ..config import KeyConfig
+    from ..core.synopses import exponential_draws, verify_synopsis
+    from ..crypto.encoding import encode_parts
+    from ..crypto.mac import compute_mac, compute_mac_message, verify_mac, verify_mac_message
+    from ..crypto.prf import prf_bytes, prf_uniform
+    from ..keys.pool import KeyPool
+    from ..keys.ring import ring_seed as opt_ring_seed, ring_indices_from_seed
+    from ..net.message import ReadingMessage, SynopsisBundle
+
+    edge_key = hashlib.sha256(b"bench-edge-key").digest()[:16]
+    master = hashlib.sha256(b"bench-master").digest()[:16]
+    nonce = hashlib.sha256(b"bench-nonce").digest()[:8]
+
+    m = 16  # synopsis instances per signing batch (paper's m)
+    sensors = list(range(1, 2 * scale + 1))
+    sign_values = [round(0.5 + 0.37 * i, 6) for i in range(m)]
+    receivers = list(range(10, 18))
+    interval = 12
+    readings = [1 + (7 * i) % 500 for i in range(scale)]
+
+    key_config = KeyConfig()
+    pool = KeyPool(master, key_config)
+
+    def ref_sensor_key(sensor_id: int) -> bytes:
+        # Pre-optimization KeyPool.sensor_key: a fresh PRF per call.
+        return _ref_derive_key(master, "sensor-key", sensor_id, length=key_config.key_length)
+
+    def ref_reading_canonical(sid: int, instance: int, value: float, mac: bytes) -> bytes:
+        return _ref_encode_parts("reading", sid, instance, value, mac)
+
+    # --- mac_sign_interval: one sensor's per-interval signing work ----
+    # Sign m instances, bundle them, edge-MAC the bundle to each
+    # neighbour.  The reference re-derives the sensor key per interval
+    # and re-canonicalizes the bundle per receiver (as _transmit_one
+    # did); the optimized side is the deployed pattern: cached key,
+    # stitched static prefixes, one canonicalization per broadcast.
+    edge_tag = encode_parts("edge")
+    phase_enc = encode_parts("aggregate")
+
+    def ref_sign_interval() -> List[Tuple[bytes, ...]]:
+        out = []
+        for sid in sensors:
+            key = ref_sensor_key(sid)
+            signed = [
+                (instance, value, _ref_compute_mac(key, sid, instance, value, nonce))
+                for instance, value in enumerate(sign_values)
+            ]
+            edge_macs = []
+            for receiver in receivers:
+                bundle_bytes = _ref_encode_parts(
+                    "bundle",
+                    *(ref_reading_canonical(sid, i, v, mac) for i, v, mac in signed),
+                )
+                edge_macs.append(
+                    _ref_compute_mac(
+                        edge_key, "edge", sid, receiver, "aggregate", interval, bundle_bytes
+                    )
+                )
+            out.append(tuple(mac for _, _, mac in signed) + tuple(edge_macs))
+        return out
+
+    def opt_sign_interval() -> List[Tuple[bytes, ...]]:
+        out = []
+        suffix = encode_parts(nonce)
+        for sid in sensors:
+            key = pool.sensor_key(sid)
+            prefix = encode_parts(sid)
+            signed = [
+                ReadingMessage(
+                    sensor_id=sid,
+                    instance=instance,
+                    value=value,
+                    mac=compute_mac_message(
+                        key, prefix + encode_parts(instance, value) + suffix
+                    ),
+                )
+                for instance, value in enumerate(sign_values)
+            ]
+            bundle_bytes = SynopsisBundle(messages=tuple(signed)).canonical_bytes()
+            payload_enc = None
+            edge_macs = []
+            for receiver in receivers:
+                if payload_enc is None:
+                    payload_enc = encode_parts(interval, bundle_bytes)
+                message = edge_tag + encode_parts(sid, receiver) + phase_enc + payload_enc
+                edge_macs.append(compute_mac_message(edge_key, message))
+            out.append(tuple(msg.mac for msg in signed) + tuple(edge_macs))
+        return out
+
+    # --- mac_edge_delivery: deliver one broadcast to k receivers ------
+    # Send-side MAC plus receiver-side verification per link.  The
+    # reference re-canonicalizes the payload on both sides per receiver
+    # (pre-optimization _transmit_one + receiver_accepts).
+    bundles = {
+        sid: SynopsisBundle(
+            messages=tuple(
+                ReadingMessage(
+                    sensor_id=sid,
+                    instance=instance,
+                    value=value,
+                    mac=_ref_compute_mac(
+                        ref_sensor_key(sid), sid, instance, value, nonce
+                    ),
+                )
+                for instance, value in enumerate(sign_values[:8])
+            )
+        )
+        for sid in sensors[: max(4, scale // 4)]
+    }
+
+    def ref_bundle_canonical(bundle: SynopsisBundle) -> bytes:
+        return _ref_encode_parts(
+            "bundle",
+            *(
+                ref_reading_canonical(msg.sensor_id, msg.instance, msg.value, msg.mac)
+                for msg in bundle.messages
+            ),
+        )
+
+    def ref_edge_delivery() -> List[Tuple[bytes, bool]]:
+        out = []
+        for sid, bundle in bundles.items():
+            for receiver in receivers:
+                mac = _ref_compute_mac(
+                    edge_key, "edge", sid, receiver, "aggregate", interval,
+                    ref_bundle_canonical(bundle),
+                )
+                ok = _ref_verify_mac(
+                    edge_key, mac, "edge", sid, receiver, "aggregate", interval,
+                    ref_bundle_canonical(bundle),
+                )
+                out.append((mac, ok))
+        return out
+
+    def opt_edge_delivery() -> List[Tuple[bytes, bool]]:
+        out = []
+        for sid, bundle in bundles.items():
+            payload_bytes = bundle.canonical_bytes()
+            payload_enc = encode_parts(interval, payload_bytes)
+            for receiver in receivers:
+                message = edge_tag + encode_parts(sid, receiver) + phase_enc + payload_enc
+                mac = compute_mac_message(edge_key, message)
+                ok = verify_mac_message(edge_key, mac, message)
+                out.append((mac, ok))
+        return out
+
+    # --- mac_verify_minimum: aggregator checks one claimed minimum ----
+    minimum_claims = [
+        (sid, 3, float(reading), _ref_compute_mac(ref_sensor_key(sid), sid, 3, float(reading), nonce))
+        for sid, reading in zip(sensors, readings * 4)
+    ]
+
+    def ref_verify_minimum() -> List[bool]:
+        return [
+            _ref_verify_mac(ref_sensor_key(sid), mac, sid, instance, value, nonce)
+            for sid, instance, value, mac in minimum_claims
+        ]
+
+    def opt_verify_minimum() -> List[bool]:
+        return [
+            verify_mac(pool.sensor_key(sid), mac, sid, instance, value, nonce)
+            for sid, instance, value, mac in minimum_claims
+        ]
+
+    # --- sensor_key_derivation: registry key fetches ------------------
+    def ref_key_derivation() -> List[bytes]:
+        return [ref_sensor_key(sid) for sid in sensors]
+
+    def opt_key_derivation() -> List[bytes]:
+        return [pool.sensor_key(sid) for sid in sensors]
+
+    # --- prf_uniform: one raw synopsis-PRG draw (deployed callers go
+    # through exponential_draws, benched above as crypto kind) ---------
+    def ref_unif() -> List[float]:
+        return [_ref_prf_uniform(_SYNOPSIS_DOMAIN, nonce, sid, 0) for sid in sensors]
+
+    def opt_unif() -> List[float]:
+        return [prf_uniform(_SYNOPSIS_DOMAIN, nonce, sid, 0) for sid in sensors]
+
+    # --- synopsis draws (generate + verify share the vector) ----------
+    def ref_draws() -> List[float]:
+        return [
+            _ref_exponential_draw(nonce, sid, instance)
+            for sid in sensors
+            for instance in range(m)
+        ]
+
+    def opt_draws() -> List[float]:
+        out: List[float] = []
+        for sid in sensors:
+            out.extend(exponential_draws(nonce, sid, m))
+        return out
+
+    # --- Eschenauer–Gligor ring expansion ------------------------------
+    ring_sensors = sensors[: max(4, scale // 4)]
+
+    def ref_ring() -> List[List[int]]:
+        return [
+            _ref_ring_indices(master, sid, key_config.pool_size, key_config.ring_size)
+            for sid in ring_sensors
+        ]
+
+    def opt_ring() -> List[List[int]]:
+        return [
+            ring_indices_from_seed(opt_ring_seed(master, sid), key_config)
+            for sid in ring_sensors
+        ]
+
+    # --- primitives: one raw call, nothing to amortize ----------------
+    key = ref_sensor_key(1)
+
+    def ref_mac_single() -> List[bytes]:
+        return [_ref_compute_mac(key, sid, 3, 21.5, nonce) for sid in sensors]
+
+    def opt_mac_single() -> List[bytes]:
+        return [compute_mac(key, sid, 3, 21.5, nonce) for sid in sensors]
+
+    def ref_prf() -> List[bytes]:
+        return [_ref_prf_bytes(master, "ring-seed", sid, length=16) for sid in sensors]
+
+    def opt_prf() -> List[bytes]:
+        return [prf_bytes(master, "ring-seed", sid, length=16) for sid in sensors]
+
+    # --- structural: verify_synopsis + canonical encoding -------------
+    claims = [
+        (sid, _ref_synopsis_value(nonce, sid, 3, float(reading)))
+        for sid, reading in zip(sensors, readings * 4)
+    ]
+
+    def ref_verify_syn() -> List[bool]:
+        return [
+            _ref_verify_synopsis(nonce, sid, 3, value, 1, 500) for sid, value in claims
+        ]
+
+    def opt_verify_syn() -> List[bool]:
+        return [verify_synopsis(nonce, sid, 3, value, 1, 500) for sid, value in claims]
+
+    def ref_encode() -> List[bytes]:
+        return [
+            _ref_encode_parts("edge", sid, 4, "aggregate", interval, nonce)
+            for sid in sensors
+        ]
+
+    def opt_encode() -> List[bytes]:
+        return [
+            encode_parts("edge", sid, 4, "aggregate", interval, nonce) for sid in sensors
+        ]
+
+    n = len(sensors)
+    deliveries = len(bundles) * len(receivers)
+    return [
+        MicroBench("mac_sign_interval", "crypto", n * (m + len(receivers)), ref_sign_interval, opt_sign_interval),
+        MicroBench("mac_edge_delivery", "crypto", deliveries, ref_edge_delivery, opt_edge_delivery),
+        MicroBench("mac_verify_minimum", "crypto", len(minimum_claims), ref_verify_minimum, opt_verify_minimum),
+        MicroBench("sensor_key_derivation", "crypto", n, ref_key_derivation, opt_key_derivation),
+        MicroBench("exponential_draws", "crypto", n * m, ref_draws, opt_draws),
+        MicroBench("ring_selection", "crypto", len(ring_sensors), ref_ring, opt_ring),
+        MicroBench("compute_mac", "primitive", n, ref_mac_single, opt_mac_single),
+        MicroBench("prf_bytes", "primitive", n, ref_prf, opt_prf),
+        MicroBench("prf_uniform", "primitive", n, ref_unif, opt_unif),
+        MicroBench("verify_synopsis", "structural", len(claims), ref_verify_syn, opt_verify_syn),
+        MicroBench("encode_parts", "structural", n, ref_encode, opt_encode),
+    ]
+
+
+# ----------------------------------------------------------------------
+# End-to-end cells
+# ----------------------------------------------------------------------
+
+#: The e2e cells: one representative reduced-grid cell per scenario the
+#: issue names.  ``chaos`` exercises the full protocol (deployment,
+#: edge MACs, synopsis verification); ``fig7``/``fig8`` cover the
+#: analysis paths.
+E2E_CELLS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("fig7", {"nodes": 300, "malicious": 3, "trials": 5, "theta_max": 12}),
+    ("fig8", {"count": 500, "synopses": 50, "trials": 40}),
+    ("chaos", {"nodes": 16, "profile": "mixed", "executions": 2}),
+)
+
+_E2E_SEED = 1337
+
+
+@dataclass
+class E2EResult:
+    cell: str
+    params: Dict[str, Any]
+    ref_s: float
+    opt_s: float
+    speedup: float
+    metrics_equal: bool
+
+
+def _run_e2e_cell(
+    name: str,
+    params: Dict[str, Any],
+    repeat: int,
+    profiler: Optional[cProfile.Profile] = None,
+) -> E2EResult:
+    from ..campaign.registry import get_scenario
+
+    import repro.campaign.scenarios  # noqa: F401  (registers the scenarios)
+
+    run = get_scenario(name).run
+    best_ref = math.inf
+    best_opt = math.inf
+    ref_metrics: Any = None
+    opt_metrics: Any = None
+    for _ in range(repeat):
+        with disabled():
+            started = time.perf_counter()
+            ref_metrics = run(dict(params), _E2E_SEED)
+            best_ref = min(best_ref, time.perf_counter() - started)
+        clear_caches()  # each optimized round starts cold, like a worker
+        if profiler is not None:
+            profiler.enable()
+        started = time.perf_counter()
+        opt_metrics = run(dict(params), _E2E_SEED)
+        best_opt = min(best_opt, time.perf_counter() - started)
+        if profiler is not None:
+            profiler.disable()
+    metrics_equal = _identical(ref_metrics, opt_metrics)
+    if not metrics_equal:
+        raise ReproError(
+            f"e2e cell {name!r}: cache-disabled and warm runs produced different "
+            f"metrics ({ref_metrics!r} vs {opt_metrics!r}) — bit-identity broken"
+        )
+    return E2EResult(
+        cell=name,
+        params=dict(params),
+        ref_s=round(best_ref, 6),
+        opt_s=round(best_opt, 6),
+        speedup=round(best_ref / best_opt, 2) if best_opt > 0 else math.inf,
+        metrics_equal=metrics_equal,
+    )
+
+
+# ----------------------------------------------------------------------
+# Harness entry points
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BenchReport:
+    """Everything one ``repro bench`` invocation measured."""
+
+    micro: List[MicroResult] = field(default_factory=list)
+    e2e: List[E2EResult] = field(default_factory=list)
+    e2e_cells_per_sec_ref: float = 0.0
+    e2e_cells_per_sec_opt: float = 0.0
+    profile_table: Optional[str] = None
+
+    @property
+    def e2e_speedup(self) -> float:
+        if self.e2e_cells_per_sec_ref <= 0:
+            return 0.0
+        return round(self.e2e_cells_per_sec_opt / self.e2e_cells_per_sec_ref, 2)
+
+    def payload(self) -> Dict[str, Any]:
+        """The ``BENCH_perf.json`` payload (comparison-stable keys)."""
+        return {
+            "python": sys.version.split()[0],
+            "micro": {
+                r.name: {
+                    "kind": r.kind,
+                    "ref_us": r.ref_us,
+                    "opt_us": r.opt_us,
+                    "speedup": r.speedup,
+                }
+                for r in self.micro
+            },
+            "e2e": {
+                r.cell: {
+                    "params": r.params,
+                    "ref_s": r.ref_s,
+                    "opt_s": r.opt_s,
+                    "speedup": r.speedup,
+                    "metrics_equal": r.metrics_equal,
+                }
+                for r in self.e2e
+            },
+            "e2e_cells_per_sec": {
+                "reference": self.e2e_cells_per_sec_ref,
+                "optimized": self.e2e_cells_per_sec_opt,
+                "speedup": self.e2e_speedup,
+            },
+            "cache_stats": cache_stats(),
+        }
+
+    def render(self) -> str:
+        from ..campaign.report import format_table
+
+        lines = [
+            format_table(
+                "micro (per-op, best of interleaved rounds)",
+                ["bench", "kind", "ref_us", "opt_us", "speedup"],
+                [
+                    [r.name, r.kind, r.ref_us, r.opt_us, f"{r.speedup}x"]
+                    for r in self.micro
+                ],
+            ),
+            "",
+            format_table(
+                "e2e cells (reference = caches disabled, same build)",
+                ["cell", "ref_s", "opt_s", "speedup", "bit-identical"],
+                [
+                    [r.cell, r.ref_s, r.opt_s, f"{r.speedup}x", r.metrics_equal]
+                    for r in self.e2e
+                ],
+            ),
+            "",
+            (
+                f"e2e throughput: {self.e2e_cells_per_sec_ref:.2f} -> "
+                f"{self.e2e_cells_per_sec_opt:.2f} cells/s "
+                f"({self.e2e_speedup}x)"
+            ),
+        ]
+        if self.profile_table:
+            lines += ["", self.profile_table]
+        return "\n".join(lines)
+
+
+def _hotspot_table(profiler: cProfile.Profile, top: int, cell: str) -> str:
+    from ..campaign.report import format_table
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    rows: List[List[Any]] = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )[:top]:
+        filename, lineno, name = func
+        if filename.startswith("<"):
+            location = f"{filename}:{name}"
+        else:
+            short = "/".join(filename.split("/")[-2:])
+            location = f"{short}:{lineno}:{name}"
+        rows.append([location, nc, round(tt * 1e3, 2), round(ct * 1e3, 2)])
+    return format_table(
+        f"{cell} hotspots (top {top} by cumulative time)",
+        ["function", "calls", "self_ms", "cum_ms"],
+        rows,
+    )
+
+
+def run_bench(
+    repeat: int = 5,
+    scale: int = 32,
+    profile: bool = False,
+    profile_top: int = 15,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run the full micro + e2e suite and return the report.
+
+    ``scale`` sizes micro workloads (number of distinct sensors cycled);
+    ``repeat`` is the interleaved round count per bench.  ``profile``
+    wraps the optimized e2e runs in ``cProfile`` — when False, no
+    profiler object exists at all.
+    """
+    if repeat < 1 or scale < 1:
+        raise ReproError("bench repeat and scale must be >= 1")
+    say = progress or (lambda message: None)
+    report = BenchReport()
+
+    clear_caches()
+    for bench in _build_micro_benches(scale):
+        result = _run_micro(bench, repeat)
+        report.micro.append(result)
+        say(f"micro {result.name}: {result.ref_us} -> {result.opt_us} us ({result.speedup}x)")
+
+    tables: List[str] = []
+    for name, params in E2E_CELLS:
+        # One profiler per cell, so hotspot tables are per-cell; when
+        # profiling is off no profiler object exists at all.
+        profiler = cProfile.Profile() if profile else None
+        result = _run_e2e_cell(name, params, repeat=max(2, min(repeat, 3)), profiler=profiler)
+        report.e2e.append(result)
+        say(f"e2e {name}: {result.ref_s} -> {result.opt_s} s ({result.speedup}x)")
+        if profiler is not None:
+            tables.append(_hotspot_table(profiler, profile_top, cell=name))
+    ref_total = sum(r.ref_s for r in report.e2e)
+    opt_total = sum(r.opt_s for r in report.e2e)
+    report.e2e_cells_per_sec_ref = round(len(report.e2e) / ref_total, 4) if ref_total else 0.0
+    report.e2e_cells_per_sec_opt = round(len(report.e2e) / opt_total, 4) if opt_total else 0.0
+    if tables:
+        report.profile_table = "\n\n".join(tables)
+    return report
+
+
+def compare_bench_payloads(
+    base: Mapping[str, Any], new: Mapping[str, Any], threshold: float = 0.5
+) -> "Any":
+    """Gate a fresh bench payload against a committed baseline.
+
+    Comparison is on **speedup ratios** (reference/optimized on the same
+    machine), which transfer across hardware; a bench regresses when its
+    ratio drops by more than ``threshold`` relative to the recorded one
+    (the default 0.5 catches roughly 2x slowdowns of the optimized path
+    while tolerating runner noise).  Vanished benches fail the gate.
+    Returns a :class:`repro.campaign.report.ComparisonReport`.
+    """
+    from ..campaign.report import ComparisonReport, Regression
+
+    report = ComparisonReport(
+        base_run="BENCH_perf.json", new_run="bench", threshold=threshold
+    )
+
+    def check(group: str, metric: str, base_value: Any, new_value: Any) -> None:
+        if not isinstance(base_value, (int, float)) or not isinstance(
+            new_value, (int, float)
+        ):
+            return
+        report.compared += 1
+        # One-sided: only a *drop* in speedup is a regression.
+        drop = (base_value - new_value) / base_value if base_value else 0.0
+        if drop > threshold:
+            report.regressions.append(
+                Regression(
+                    group=group,
+                    metric=metric,
+                    base_mean=float(base_value),
+                    new_mean=float(new_value),
+                    rel_delta=-drop,
+                )
+            )
+
+    for name, entry in (base.get("micro") or {}).items():
+        new_entry = (new.get("micro") or {}).get(name)
+        if new_entry is None:
+            report.missing_groups.append(f"micro:{name}")
+            continue
+        check(f"micro:{name}", "speedup", entry.get("speedup"), new_entry.get("speedup"))
+    for name, entry in (base.get("e2e") or {}).items():
+        new_entry = (new.get("e2e") or {}).get(name)
+        if new_entry is None:
+            report.missing_groups.append(f"e2e:{name}")
+            continue
+        check(f"e2e:{name}", "speedup", entry.get("speedup"), new_entry.get("speedup"))
+        if new_entry.get("metrics_equal") is False:
+            report.regressions.append(
+                Regression(
+                    group=f"e2e:{name}",
+                    metric="metrics_equal",
+                    base_mean=1.0,
+                    new_mean=0.0,
+                    rel_delta=-1.0,
+                )
+            )
+    return report

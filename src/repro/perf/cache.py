@@ -1,0 +1,155 @@
+"""Bounded LRU caches behind the bit-identical optimization layer.
+
+Every hot-path cache in the repository — pre-keyed HMAC states, synopsis
+draw vectors, Eschenauer–Gligor ring selections, derived pool keys —
+goes through :class:`LRUCache`, for three reasons:
+
+* **bit-identical by construction** — a cache may only ever store the
+  exact value the cached computation would have produced, so a hit and a
+  miss are observationally indistinguishable (docs/PERFORMANCE.md states
+  the contract; ``tests/test_golden_vectors.py`` enforces it);
+* **bounded** — sensor-network sweeps touch unbounded key/nonce spaces,
+  so every cache evicts least-recently-used entries past ``maxsize``
+  instead of growing without limit;
+* **centrally switchable** — :func:`set_caching` / :func:`disabled`
+  turn every registered cache into a pass-through, which is how the
+  microbenchmark harness (:mod:`repro.perf.bench`) measures the
+  reference path on the same build, and how any doubt about a cache's
+  transparency can be settled empirically (``repro bench`` asserts
+  enabled == disabled outputs before timing them).
+
+The registry is process-global; caches are keyed by name and report hit
+/miss/eviction counts through :func:`cache_stats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Hashable, Iterator, List, Optional
+
+from ..errors import ConfigError
+
+#: All caches ever constructed, by name — the disable/clear/stats surface.
+_REGISTRY: "OrderedDict[str, LRUCache]" = OrderedDict()
+
+#: Process-global switch; flipped only by :func:`set_caching`.
+_ENABLED = True
+
+
+class LRUCache:
+    """A named, bounded, least-recently-used mapping.
+
+    ``get`` returns ``None`` on a miss (``None`` is never a legal cached
+    value here — every cached computation yields bytes/tuples/objects),
+    and both ``get`` and ``put`` become no-ops while caching is globally
+    disabled, so the disabled path is exactly the uncached computation.
+    """
+
+    def __init__(self, name: str, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ConfigError(f"cache {name!r} needs maxsize >= 1, got {maxsize}")
+        if name in _REGISTRY:
+            raise ConfigError(f"duplicate cache name {name!r}")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        _REGISTRY[name] = self
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        if not _ENABLED:
+            return None
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not _ENABLED:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def view(self) -> "OrderedDict[Hashable, Any]":
+        """The backing mapping, for zero-overhead hot-path reads.
+
+        The view honors :func:`set_caching`: disabling clears the
+        mapping **in place** and keeps ``put`` a no-op, so reads through
+        a view miss exactly when ``get`` would.  What a view skips is
+        accounting — no hit counter, no recency update — so entries
+        only ever read through a view age out in insertion order rather
+        than strict LRU.  Callers must treat the view as read-only and
+        route misses through ``get``/``put``.
+        """
+        return self._data
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for one cache (sizes included), JSON-ready."""
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+def caching_enabled() -> bool:
+    """Whether the optimization layer's caches are currently active."""
+    return _ENABLED
+
+
+def set_caching(enabled: bool) -> None:
+    """Globally enable/disable every registered cache.
+
+    Disabling also clears all cached state, so re-enabling starts cold —
+    the bench harness relies on this for fair cold-vs-warm timings.
+    """
+    global _ENABLED
+    _ENABLED = bool(enabled)
+    if not _ENABLED:
+        clear_caches()
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the reference (cache-free) path."""
+    previous = _ENABLED
+    set_caching(False)
+    try:
+        yield
+    finally:
+        set_caching(previous)
+
+
+def clear_caches() -> None:
+    """Drop every cached entry (counters are kept)."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/eviction counters for every registered cache."""
+    return {name: cache.stats() for name, cache in _REGISTRY.items()}
+
+
+def registered_caches() -> List[str]:
+    """Names of every cache constructed so far (import-order stable)."""
+    return list(_REGISTRY)

@@ -81,6 +81,39 @@ class TestInversionAndVerification:
         assert not verify_synopsis(NONCE, 7, 3, -1.0, 1, 10_000)
         assert not verify_synopsis(NONCE, 7, 3, float("nan"), 1, 10_000)
 
+    def test_verify_at_domain_boundaries(self):
+        """reading_min and reading_max themselves must verify and invert:
+        the single-inversion check may not exclude either endpoint."""
+        for boundary in (1, 10_000):
+            value = synopsis_value(NONCE, 7, 3, boundary)
+            assert verify_synopsis(NONCE, 7, 3, value, 1, 10_000)
+            assert invert_synopsis(NONCE, 7, 3, value, 1, 10_000) == boundary
+            # A one-reading domain pinned exactly on the boundary.
+            assert verify_synopsis(NONCE, 7, 3, value, boundary, boundary)
+            assert invert_synopsis(NONCE, 7, 3, value, boundary, boundary) == boundary
+
+    def test_invert_candidates_straddling_an_integer(self):
+        """``e / value`` lands near (but rarely on) the true integer:
+        floor/ceil/round candidates must recover it on both sides.
+
+        ``e / (e / r)`` can round to just below or just above ``r``; the
+        old double-inversion (``invert(value)`` then ``isclose``) lost
+        readings whose recomputed candidate crossed the integer.  Sweep
+        enough (sensor, instance, reading) cells to hit both directions.
+        """
+        checked = 0
+        for sensor in range(1, 60):
+            for instance in range(8):
+                for reading in (1, 2, 3, 9_999, 10_000):
+                    value = synopsis_value(NONCE, sensor, instance, reading)
+                    e = exponential_draw(NONCE, sensor, instance)
+                    assert (
+                        invert_synopsis(NONCE, sensor, instance, value, 1, 10_000)
+                        == reading
+                    ), (sensor, instance, reading, e / value)
+                    checked += 1
+        assert checked == 59 * 8 * 5
+
     def test_count_domain_restriction_blocks_inflation(self):
         """A count synopsis must decode to reading 1; a synopsis for a
         large reading (tiny value => huge count estimate) is rejected."""
