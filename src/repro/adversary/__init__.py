@@ -29,6 +29,8 @@ override individual hooks:
 
 from .base import Adversary, MaliciousNodeState, Strategy
 from .strategies import (
+    STRATEGY_REGISTRY,
+    make_strategy,
     AdaptiveStrategy,
     ChokingFloodStrategy,
     PolicyStrategy,
@@ -56,7 +58,9 @@ __all__ = [
     "PolicyStrategy",
     "RelayDropStrategy",
     "ReplayStrategy",
+    "STRATEGY_REGISTRY",
     "SpuriousVetoStrategy",
     "Strategy",
+    "make_strategy",
     "WormholeStrategy",
 ]

@@ -392,3 +392,31 @@ class PerNodeStrategy(Strategy):
 
     def predtest_answer(self, adv, ctx, node_id, truthful):
         return self._for(node_id).predtest_answer(adv, ctx, node_id, truthful)
+
+
+# ----------------------------------------------------------------------
+# Named registry (CLI demos, the adversary fuzzer)
+# ----------------------------------------------------------------------
+
+#: Policy-strategy constructors addressable by name.  The fuzzer
+#: (:mod:`repro.invariants.fuzz`) random-walks this registry, so every
+#: entry must be constructible from ``predtest`` alone and deterministic
+#: given the adversary's seed.
+STRATEGY_REGISTRY = {
+    "passive": PassiveStrategy,
+    "drop-minimum": DropMinimumStrategy,
+    "hide-and-veto": HideAndVetoStrategy,
+    "junk-minimum": JunkMinimumStrategy,
+    "spurious-veto": SpuriousVetoStrategy,
+}
+
+
+def make_strategy(name: str, predtest: str = "truthful") -> PolicyStrategy:
+    """Instantiate a registered strategy by name with a predtest policy."""
+    try:
+        factory = STRATEGY_REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown strategy {name!r}; registered: {sorted(STRATEGY_REGISTRY)}"
+        ) from None
+    return factory(predtest=predtest)

@@ -308,6 +308,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
     readings = {i: 100.0 + i for i in deployment.topology.sensor_ids}
     readings[max(deployment.topology.sensor_ids)] = 1.0
 
+    tracer = None
+    if args.trace:
+        from .tracing import Tracer
+
+        tracer = Tracer.attach(deployment.network)
+
     session = protocol.run_session(MinQuery(), readings, max_executions=300)
     print(f"attack: {args.attack}, compromised: {sorted(args.compromised)}")
     for index, execution in enumerate(session.executions, start=1):
@@ -320,7 +326,131 @@ def cmd_demo(args: argparse.Namespace) -> int:
             )
     print(f"revoked sensors: {sorted(deployment.registry.revoked_sensors)}")
     print(f"revoked keys: {len(deployment.registry.revoked_keys)}")
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(
+            f"trace: {len(tracer)} events -> {args.trace} "
+            "(check with: repro invariants check --trace)"
+        )
     return 0
+
+
+# ----------------------------------------------------------------------
+# invariants / fuzz — the machine-checked catalog (repro.invariants)
+# ----------------------------------------------------------------------
+
+def cmd_invariants_list(args: argparse.Namespace) -> int:
+    from .invariants import EXECUTION_INVARIANTS, STORE_INVARIANTS
+
+    print("execution-scope invariants (online monitor + trace files):")
+    for inv in EXECUTION_INVARIANTS:
+        print(f"  {inv.name:28s} {inv.section}")
+        print(f"  {'':28s}   {inv.description}")
+    print("store-scope invariants (campaign result stores):")
+    for inv in STORE_INVARIANTS:
+        scenario = inv.scenario or "all scenarios"
+        print(f"  {inv.name:28s} [{scenario}] {inv.section}")
+        print(f"  {'':28s}   {inv.description}")
+    return 0
+
+
+def cmd_invariants_check(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore
+    from .invariants import check_store, check_trace_file
+
+    failed = False
+    if args.trace:
+        for path in args.trace:
+            checked, violations = check_trace_file(path)
+            status = "OK" if not violations else f"{len(violations)} VIOLATION(S)"
+            print(f"trace {path}: {checked} execution(s), {status}")
+            for violation in violations:
+                print(f"  {violation}")
+                failed = True
+    if args.store or not args.trace:
+        store_root = args.store or "stores/ci"
+        store = ResultStore(store_root)
+        run_ids = args.run if args.run else None
+        results = check_store(store, run_ids=run_ids)
+        if not results:
+            print(f"store {store_root}: no runs found")
+            return 1
+        for run_id, (records, violations) in sorted(results.items()):
+            status = "OK" if not violations else f"{len(violations)} VIOLATION(S)"
+            print(f"run {run_id}: {records} record(s), {status}")
+            for violation in violations:
+                print(f"  {violation}")
+                failed = True
+    return 1 if failed else 0
+
+
+def cmd_invariants_mutants(args: argparse.Namespace) -> int:
+    from .invariants import mutation_smoke
+
+    names = args.mutant if args.mutant else None
+    reports = mutation_smoke(seed=args.seed, names=names)
+    survived = False
+    for report in reports:
+        if report.passed:
+            caught = ", ".join(report.caught_by)
+            print(f"{report.name}: CAUGHT by {caught}")
+        else:
+            survived = True
+            if not report.baseline_clean:
+                print(f"{report.name}: BASELINE DIRTY (provocation trips the "
+                      "catalog without the mutation — fix the scenario)")
+            else:
+                expected = ", ".join(report.expected)
+                print(f"{report.name}: SURVIVED (expected {expected}; outcomes "
+                      f"{list(report.outcomes)})")
+    if survived:
+        print("mutation smoke-check FAILED: the catalog has a blind spot")
+        return 1
+    print(f"all {len(reports)} planted mutants caught")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .invariants import fuzz as run_fuzz
+    from .invariants import replay_repro
+
+    if args.replay:
+        violations, expected = replay_repro(args.replay)
+        got = sorted({v.invariant for v in violations})
+        print(f"replay {args.replay}: expected {expected}, got {got}")
+        for violation in violations:
+            print(f"  {violation}")
+        if set(expected) <= set(got):
+            print("replay reproduces the recorded violation(s)")
+            return 0
+        print("replay DIVERGED from the recorded violation(s)")
+        return 1
+
+    report = run_fuzz(
+        args.seed,
+        args.trials,
+        mutant=args.mutant,
+        repro_dir=args.repro_dir,
+        do_shrink=not args.no_shrink,
+    )
+    tag = f" against mutant {args.mutant!r}" if args.mutant else ""
+    print(f"fuzzed {report.configs_run} config(s) from seed {args.seed}{tag}")
+    for trial, config, violations in report.findings:
+        violated = sorted({v.invariant for v in violations})
+        print(f"trial {trial}: {violated} with {config.to_dict()}")
+    for path in report.repro_paths:
+        print(f"repro written: {path}")
+    if args.mutant:
+        # Hunting a planted bug: the fuzzer must find it.
+        if report.clean:
+            print(f"FAIL: mutant {args.mutant!r} survived {args.trials} trials")
+            return 1
+        print("mutant found by the fuzzer")
+        return 0
+    if report.clean:
+        print("no invariant violations found")
+        return 0
+    return 1
 
 
 # ----------------------------------------------------------------------
@@ -667,6 +797,55 @@ def _add_campaign_parser(sub) -> None:
     p.set_defaults(func=cmd_campaign_list)
 
 
+def _add_invariants_parser(sub) -> None:
+    invariants = sub.add_parser(
+        "invariants", help="machine-checked VMAT security invariants"
+    )
+    isub = invariants.add_subparsers(dest="invariants_command", required=True)
+
+    p = isub.add_parser("list", help="show the invariant catalog with paper anchors")
+    p.set_defaults(func=cmd_invariants_list)
+
+    p = isub.add_parser(
+        "check", help="check trace files and/or campaign result stores"
+    )
+    p.add_argument("--trace", action="append", metavar="TRACE.jsonl",
+                   help="tracer JSONL file (repeatable; see 'repro demo --trace')")
+    p.add_argument("--store", type=str, default=None,
+                   help="campaign store root (default stores/ci when no --trace)")
+    p.add_argument("--run", action="append", metavar="RUN_ID",
+                   help="restrict the store audit to these runs (default: all)")
+    p.set_defaults(func=cmd_invariants_check)
+
+    p = isub.add_parser(
+        "mutants",
+        help="mutation smoke-check: planted protocol weakenings must be caught",
+    )
+    p.add_argument("--mutant", action="append",
+                   help="check only this planted mutant (repeatable; default all)")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_invariants_mutants)
+
+
+def _add_fuzz_parser(sub) -> None:
+    p = sub.add_parser(
+        "fuzz",
+        help="seeded adversary fuzzer: random-walk attacks x faults x topologies",
+    )
+    p.add_argument("--trials", type=int, default=25,
+                   help="seeded configs to run (default 25)")
+    p.add_argument("--seed", type=int, default=0, help="master seed")
+    p.add_argument("--mutant", type=str, default=None,
+                   help="hunt a planted weakening (exit 1 if it survives)")
+    p.add_argument("--repro-dir", type=str, default=None,
+                   help="write shrunken JSON repros for any finding here")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report raw findings without shrinking")
+    p.add_argument("--replay", type=str, default=None, metavar="REPRO.json",
+                   help="re-run a saved repro instead of fuzzing")
+    p.set_defaults(func=cmd_fuzz)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -719,11 +898,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=40)
     p.add_argument("--compromised", type=int, nargs="+", default=[5])
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--trace", type=str, default=None, metavar="TRACE.jsonl",
+                   help="save the session's event trace as JSONL "
+                        "(re-checkable via 'repro invariants check --trace')")
     p.set_defaults(func=cmd_demo)
 
     _add_campaign_parser(sub)
     _add_faults_parser(sub)
     _add_bench_parser(sub)
+    _add_invariants_parser(sub)
+    _add_fuzz_parser(sub)
 
     return parser
 

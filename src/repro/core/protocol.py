@@ -73,6 +73,16 @@ class ExecutionResult:
     # malicious self-reports), for correctness assertions.
     honest_true_value: Optional[float] = None
     overall_true_value: Optional[float] = None
+    # Ground truth restricted to honest sensors the base station could
+    # actually reach at execution start (the honest secure component).
+    # The SOF veto guarantee — and therefore the aggregate-error bound
+    # the invariant catalog checks — only covers *connected* honest
+    # sensors: a revocation that split the topology leaves stranded
+    # sensors unable to veto, by design.
+    reachable_honest_true_value: Optional[float] = None
+    # How many honest sensors that component contained (0 means the
+    # execution could not promise anything about its result).
+    reachable_honest_count: Optional[int] = None
     flooding_rounds: float = 0.0
     num_vetoers: int = 0
 
@@ -137,7 +147,19 @@ class VMATProtocol:
         rounds_before = network.metrics.flooding_rounds
         tracer = getattr(network, "tracer", None)
         if tracer is not None:
-            tracer.record("execution-start", query=query.name, depth_bound=L)
+            # Ground-truth context rides along so a trace file alone is
+            # enough to re-check the invariant catalog offline
+            # (repro.invariants): which ids were compromised, whether a
+            # fault injector / adversary was active, and the query shape.
+            tracer.record(
+                "execution-start",
+                query=query.name,
+                depth_bound=L,
+                instances=query.num_instances,
+                malicious=sorted(network.malicious_ids),
+                faults=network.fault_injector is not None,
+                adversary=self.adversary is not None,
+            )
 
         # Benign-failure self-awareness resets at the execution boundary,
         # *before* the query flood: the query broadcast is part of this
@@ -183,6 +205,15 @@ class VMATProtocol:
         result.overall_true_value = query.true_value(
             [readings[i] for i in participating]
         )
+        component = network.honest_secure_component()
+        reachable_honest = [
+            readings[i]
+            for i in participating
+            if i not in network.malicious_ids and i in component
+        ]
+        result.reachable_honest_count = len(reachable_honest)
+        if reachable_honest:
+            result.reachable_honest_true_value = query.true_value(reachable_honest)
 
         # Step 1: tree formation.
         result.tree = form_tree(network, self.adversary, L, variant=self.tree_variant)
@@ -276,7 +307,13 @@ class VMATProtocol:
         tracer.record(
             "execution-end",
             outcome=result.outcome.value,
+            query=result.query_name,
             estimate=result.estimate,
+            honest_true=result.honest_true_value,
+            overall_true=result.overall_true_value,
+            reachable_honest_true=result.reachable_honest_true_value,
+            reachable_honest_count=result.reachable_honest_count,
+            inconclusive_reason=result.inconclusive_reason,
             flooding_rounds=result.flooding_rounds,
         )
         for event in result.revocations:

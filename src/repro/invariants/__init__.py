@@ -1,0 +1,97 @@
+"""repro.invariants — machine-checked VMAT security invariants.
+
+The paper's safety theorems, as executable oracles:
+
+* :mod:`~repro.invariants.catalog` — the declarative invariant catalog
+  (honest-node safety, positive-proof revocation, strict progress,
+  aggregate-error bounds, clock/broadcast/edge-MAC authenticity);
+* :mod:`~repro.invariants.monitor` — online checking over live
+  :mod:`repro.tracing` streams via tracer listeners;
+* :mod:`~repro.invariants.offline` — the same catalog over saved trace
+  JSONL files, plus store-scope audits of campaign result stores;
+* :mod:`~repro.invariants.fuzz` — a seeded adversary/fault/topology
+  fuzzer that asserts the catalog on every run and shrinks any
+  violation to a minimal deterministic JSON repro;
+* :mod:`~repro.invariants.mutants` — planted protocol weakenings that
+  the catalog must catch (the oracle's own smoke-check).
+
+CLI: ``python -m repro invariants {list,check,mutants}`` and
+``python -m repro fuzz``.
+"""
+
+from .catalog import (
+    ABSENCE_BASED_REASONS,
+    EXECUTION_INVARIANTS,
+    POSITIVE_PROOF_REASONS,
+    AggregateErrorBound,
+    BroadcastAuthenticity,
+    ClockSyncDelta,
+    EdgeMacAuthenticity,
+    ExecutionView,
+    HonestNodeSafety,
+    Invariant,
+    PositiveProofRevocation,
+    RevocationProgress,
+    Violation,
+    check_execution,
+    classify_reason,
+)
+from .fuzz import FuzzConfig, FuzzReport, fuzz, replay_repro, run_config, shrink
+from .monitor import InvariantMonitor, InvariantViolationError, build_execution_view
+from .mutants import MUTANTS, MutantReport, mutation_smoke, run_mutant, run_provocation
+from .offline import (
+    STORE_INVARIANTS,
+    ChaosBenignSafety,
+    Fig7ThetaMonotonicity,
+    Fig8SynopsisErrorBound,
+    RoundsConstantBound,
+    StoreInvariant,
+    StoreSeedDerivation,
+    check_run,
+    check_store,
+    check_trace_events,
+    check_trace_file,
+)
+
+__all__ = [
+    "ABSENCE_BASED_REASONS",
+    "EXECUTION_INVARIANTS",
+    "MUTANTS",
+    "POSITIVE_PROOF_REASONS",
+    "STORE_INVARIANTS",
+    "AggregateErrorBound",
+    "BroadcastAuthenticity",
+    "ChaosBenignSafety",
+    "ClockSyncDelta",
+    "EdgeMacAuthenticity",
+    "ExecutionView",
+    "Fig7ThetaMonotonicity",
+    "Fig8SynopsisErrorBound",
+    "HonestNodeSafety",
+    "PositiveProofRevocation",
+    "RevocationProgress",
+    "RoundsConstantBound",
+    "StoreInvariant",
+    "StoreSeedDerivation",
+    "FuzzConfig",
+    "FuzzReport",
+    "Invariant",
+    "InvariantMonitor",
+    "InvariantViolationError",
+    "MutantReport",
+    "Violation",
+    "build_execution_view",
+    "check_execution",
+    "check_run",
+    "check_store",
+    "check_trace_events",
+    "check_trace_file",
+    "classify_reason",
+    "fuzz",
+    "mutation_smoke",
+    "replay_repro",
+    "run_config",
+    "run_mutant",
+    "run_provocation",
+    "shrink",
+]

@@ -1,0 +1,178 @@
+"""Online invariant monitoring over live :mod:`repro.tracing` streams.
+
+:class:`InvariantMonitor` subscribes to a :class:`~repro.tracing.Tracer`
+as a listener and shadows the protocol run in real time:
+
+* every *verified* ``transmission`` frame is checked against the §IV-B
+  edge-MAC authenticity rules the moment it is recorded (so a forged
+  frame is caught at the offending frame, not at end of execution);
+* events are segmented into executions on ``execution-start`` /
+  ``execution-end`` boundaries (trailing ``revocation`` events belong to
+  the execution that triggered them), and the full execution-scope
+  catalog runs when each segment closes.
+
+Usage::
+
+    tracer = Tracer.attach(deployment.network)
+    monitor = InvariantMonitor.attach(tracer, deployment.network)
+    protocol.execute(...)
+    monitor.check_now()          # close the trailing segment
+    assert not monitor.violations
+
+With ``on_violation="raise"`` the first breach raises
+:class:`InvariantViolationError` instead of accumulating — the fuzzer
+uses the default "record" mode, tests use whichever reads better.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+from ..tracing import TraceEvent, Tracer
+from .catalog import (
+    EXECUTION_INVARIANTS,
+    EdgeMacAuthenticity,
+    ExecutionView,
+    Violation,
+    check_execution,
+    check_transmission_event,
+)
+
+
+class InvariantViolationError(ReproError):
+    """Raised in ``on_violation="raise"`` mode; carries the violations."""
+
+    def __init__(self, violations: List[Violation]) -> None:
+        self.violations = list(violations)
+        lines = "; ".join(str(v) for v in violations[:3])
+        more = f" (+{len(violations) - 3} more)" if len(violations) > 3 else ""
+        super().__init__(f"invariant violation: {lines}{more}")
+
+
+def build_execution_view(
+    segment: List[Dict[str, Any]], network: Any = None
+) -> Optional[ExecutionView]:
+    """Assemble an :class:`ExecutionView` from one execution's events.
+
+    ``segment`` starts at an ``execution-start`` event and runs up to
+    (excluding) the next one; returns ``None`` for segments with no
+    start event (e.g. a trace captured mid-run).
+    """
+    start = next((e for e in segment if e.get("kind") == "execution-start"), None)
+    if start is None:
+        return None
+    end = next((e for e in segment if e.get("kind") == "execution-end"), None)
+    revocations = tuple(e for e in segment if e.get("kind") == "revocation")
+    return ExecutionView(
+        query=str(start.get("query", "")),
+        depth_bound=int(start.get("depth_bound", 0)),
+        instances=int(start.get("instances", 1)),
+        malicious=frozenset(start.get("malicious", ())),
+        faults_active=bool(start.get("faults", False)),
+        adversary_active=bool(start.get("adversary", False)),
+        outcome=str(end.get("outcome", "unfinished")) if end else "unfinished",
+        estimate=end.get("estimate") if end else None,
+        honest_true=end.get("honest_true") if end else None,
+        overall_true=end.get("overall_true") if end else None,
+        reachable_honest_true=end.get("reachable_honest_true") if end else None,
+        reachable_honest_count=end.get("reachable_honest_count") if end else None,
+        inconclusive_reason=end.get("inconclusive_reason") if end else None,
+        revocations=revocations,
+        events=tuple(segment),
+        network=network,
+    )
+
+
+class InvariantMonitor:
+    """Live checker: a tracer listener plus segment-close catalog runs."""
+
+    def __init__(
+        self,
+        network: Any = None,
+        invariants=None,
+        on_violation: str = "record",
+    ) -> None:
+        if on_violation not in ("record", "raise"):
+            raise ReproError(
+                f"on_violation must be 'record' or 'raise', got {on_violation!r}"
+            )
+        self.network = network
+        self.invariants = (
+            list(invariants) if invariants is not None else list(EXECUTION_INVARIANTS)
+        )
+        self.on_violation = on_violation
+        self.violations: List[Violation] = []
+        self.executions_checked = 0
+        self._segment: List[Dict[str, Any]] = []
+        self._edge_invariant = EdgeMacAuthenticity()
+        self._tracer: Optional[Tracer] = None
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        tracer: Tracer,
+        network: Any = None,
+        invariants=None,
+        on_violation: str = "record",
+    ) -> "InvariantMonitor":
+        monitor = cls(network=network, invariants=invariants, on_violation=on_violation)
+        tracer.add_listener(monitor.on_event)
+        monitor._tracer = tracer
+        return monitor
+
+    def detach(self) -> None:
+        if self._tracer is not None:
+            self._tracer.remove_listener(self.on_event)
+            self._tracer = None
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+    def on_event(self, event: TraceEvent) -> None:
+        record = event.to_dict()
+        if record["kind"] == "execution-start" and self._segment:
+            self._close_segment()
+        self._segment.append(record)
+        # Per-frame live check: catch a bad frame at the frame.
+        if (
+            self.network is not None
+            and record["kind"] == "transmission"
+            and record.get("verified")
+        ):
+            frame_violations = check_transmission_event(
+                self._edge_invariant, self.network, record
+            )
+            if frame_violations:
+                self._report(frame_violations)
+
+    def check_now(self) -> List[Violation]:
+        """Close the open segment (if any) and return all violations."""
+        if self._segment:
+            self._close_segment()
+        return self.violations
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _close_segment(self) -> None:
+        segment, self._segment = self._segment, []
+        view = build_execution_view(segment, network=self.network)
+        if view is None:
+            return
+        self.executions_checked += 1
+        found = check_execution(view, self.invariants)
+        # The per-frame listener already reported edge-MAC breaches for
+        # this segment; drop the duplicate sweep results.
+        if self.network is not None:
+            found = [v for v in found if v.invariant != self._edge_invariant.name]
+        if found:
+            self._report(found)
+
+    def _report(self, violations: List[Violation]) -> None:
+        self.violations.extend(violations)
+        if self.on_violation == "raise":
+            raise InvariantViolationError(violations)

@@ -1,0 +1,296 @@
+"""Offline invariant checking: trace files and campaign result stores.
+
+Two entry points, both surfaced by ``python -m repro invariants check``:
+
+* :func:`check_trace_events` / :func:`check_trace_file` — replay a
+  :mod:`repro.tracing` JSONL dump through the execution-scope catalog
+  (network-free: the online-only invariants simply skip themselves);
+* :func:`check_run` / :func:`check_store` — audit a campaign
+  :class:`~repro.campaign.store.RunStore` against the store-scope
+  catalog: seed-derivation integrity plus the per-scenario semantic
+  invariants (chaos runs never revoke, Figure-7 mis-revocation falls
+  with θ, Figure-8 errors respect the §VIII envelope, Theorem-2 round
+  counts stay constant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..tracing import Tracer
+from .catalog import Invariant, Violation, check_execution
+from .monitor import build_execution_view
+
+#: Theorem 2 upper bound used by the rounds invariant: a full honest
+#: execution costs a constant number of flooding rounds regardless of n
+#: (tree + aggregation + confirmation phases, each O(1) floods).
+MAX_FLOODING_ROUNDS = 8.0
+
+
+# ----------------------------------------------------------------------
+# Trace files
+# ----------------------------------------------------------------------
+def iter_execution_segments(
+    events: Iterable[Dict[str, Any]],
+) -> List[List[Dict[str, Any]]]:
+    """Split a flat event stream into per-execution segments.
+
+    A segment starts at each ``execution-start``; trailing events
+    (including the ``revocation`` events a pinpoint appends after
+    ``execution-end``) belong to the segment that opened last.  Events
+    before the first start form a headless prefix that is dropped.
+    """
+    segments: List[List[Dict[str, Any]]] = []
+    current: Optional[List[Dict[str, Any]]] = None
+    for event in events:
+        if event.get("kind") == "execution-start":
+            current = []
+            segments.append(current)
+        if current is not None:
+            current.append(event)
+    return segments
+
+
+def check_trace_events(events: Iterable[Dict[str, Any]]) -> Tuple[int, List[Violation]]:
+    """Run the execution catalog over a recorded event stream.
+
+    Returns ``(executions_checked, violations)``.  Online-only
+    invariants (clock, broadcast-chain, live edge-MAC ground truth) are
+    inert without a network; everything derivable from the events alone
+    still runs.
+    """
+    violations: List[Violation] = []
+    checked = 0
+    for segment in iter_execution_segments(events):
+        view = build_execution_view(segment, network=None)
+        if view is None:
+            continue
+        checked += 1
+        violations.extend(check_execution(view))
+    return checked, violations
+
+
+def check_trace_file(path) -> Tuple[int, List[Violation]]:
+    """:func:`check_trace_events` over a ``Tracer.save`` JSONL file."""
+    return check_trace_events(Tracer.load(path))
+
+
+# ----------------------------------------------------------------------
+# Store-scope invariants
+# ----------------------------------------------------------------------
+class StoreInvariant(Invariant):
+    """A checker over one campaign run's (spec, result records)."""
+
+    scope = "store"
+    #: Restrict to one scenario's records; ``None`` means every record.
+    scenario: Optional[str] = None
+
+    def check(self, view) -> List[Violation]:  # pragma: no cover - not used
+        return []
+
+    def check_record(
+        self, spec: Any, record: Dict[str, Any]
+    ) -> List[Violation]:
+        raise NotImplementedError
+
+    def applies_to(self, record: Dict[str, Any]) -> bool:
+        if record.get("status") != "ok":
+            return False
+        return self.scenario is None or record.get("scenario") == self.scenario
+
+
+class StoreSeedDerivation(StoreInvariant):
+    name = "store-seed-derivation"
+    section = "repro.campaign determinism contract (ROADMAP: bit-identical reruns)"
+    description = (
+        "Every result record's seed equals the position-free derivation "
+        "derive_cell_seed(campaign_seed, scenario, params) — resuming or "
+        "re-gridding a campaign can never silently change a cell's RNG."
+    )
+    scenario = None
+
+    def applies_to(self, record: Dict[str, Any]) -> bool:
+        return True  # seed integrity matters for failed cells too
+
+    def check_record(self, spec: Any, record: Dict[str, Any]) -> List[Violation]:
+        from ..campaign.spec import derive_cell_seed
+
+        expected = derive_cell_seed(
+            spec.seed, record["scenario"], record["params"]
+        )
+        if record["seed"] != expected:
+            return [self.violation(
+                f"cell {record['cell_id']!r} recorded seed {record['seed']} "
+                f"but the spec derives {expected}",
+                cell_id=record["cell_id"], seed=record["seed"], expected=expected,
+            )]
+        return []
+
+
+class ChaosBenignSafety(StoreInvariant):
+    name = "chaos-benign-safety"
+    section = "docs/FAULTS.md degradation contract; Lemmas 4/5 under loss"
+    description = (
+        "Chaos cells never revoke anybody, and every execution is "
+        "accounted for as either a result or an inconclusive degradation."
+    )
+    scenario = "chaos"
+
+    def check_record(self, spec: Any, record: Dict[str, Any]) -> List[Violation]:
+        metrics = record["metrics"]
+        violations: List[Violation] = []
+        if metrics.get("revocations", 0.0) != 0.0:
+            violations.append(self.violation(
+                f"chaos cell {record['cell_id']!r} reports "
+                f"{metrics['revocations']} revocations under a benign plan",
+                cell_id=record["cell_id"],
+            ))
+        executions = float(record["params"].get("executions", 0))
+        accounted = metrics.get("results_produced", 0.0) + metrics.get(
+            "inconclusive", 0.0
+        )
+        if accounted != executions:
+            violations.append(self.violation(
+                f"chaos cell {record['cell_id']!r} accounts for {accounted} "
+                f"of {executions} executions",
+                cell_id=record["cell_id"], accounted=accounted,
+            ))
+        return violations
+
+
+class Fig7ThetaMonotonicity(StoreInvariant):
+    name = "fig7-theta-monotonicity"
+    section = "Figure 7, §IX (θ-threshold mis-revocation trade-off)"
+    description = (
+        "Raising the revocation threshold θ never increases the expected "
+        "number of mis-revoked honest sensors, and any reported safe θ "
+        "lies inside the tested range."
+    )
+    scenario = "fig7"
+
+    def check_record(self, spec: Any, record: Dict[str, Any]) -> List[Violation]:
+        metrics = record["metrics"]
+        violations: List[Violation] = []
+        at_max = metrics["misrevoked_at_theta_max"]
+        at_one = metrics["misrevoked_at_theta_1"]
+        if at_max > at_one + 1e-9 or at_max < 0 or at_one < 0:
+            violations.append(self.violation(
+                f"fig7 cell {record['cell_id']!r}: misrevoked at theta_max "
+                f"({at_max}) exceeds misrevoked at theta=1 ({at_one})",
+                cell_id=record["cell_id"], at_max=at_max, at_one=at_one,
+            ))
+        safe_theta = metrics["safe_theta"]
+        theta_max = float(record["params"]["theta_max"])
+        if safe_theta != -1.0 and not (1.0 <= safe_theta <= theta_max):
+            violations.append(self.violation(
+                f"fig7 cell {record['cell_id']!r}: safe_theta {safe_theta} "
+                f"escapes the tested range [1, {theta_max}]",
+                cell_id=record["cell_id"], safe_theta=safe_theta,
+            ))
+        return violations
+
+
+class Fig8SynopsisErrorBound(StoreInvariant):
+    name = "fig8-synopsis-error-bound"
+    section = "Figure 8, §VIII (E|err| = sqrt(2/(pi·m)) error analysis)"
+    description = (
+        "Averaged COUNT relative error stays within a small multiple of "
+        "the closed-form §VIII expectation, and the reported percentiles "
+        "are ordered (p50 <= p90 <= p99)."
+    )
+    scenario = "fig8"
+    #: The avg over `trials` runs concentrates near E|err|; 3x covers
+    #: small-trial noise while still catching a broken estimator.
+    multiplier = 3.0
+
+    def check_record(self, spec: Any, record: Dict[str, Any]) -> List[Violation]:
+        from ..core.synopses import expected_relative_error
+
+        metrics = record["metrics"]
+        violations: List[Violation] = []
+        synopses = int(record["params"]["synopses"])
+        bound = self.multiplier * expected_relative_error(synopses)
+        avg = metrics["avg_rel_error"]
+        if not (0.0 <= avg <= bound):
+            violations.append(self.violation(
+                f"fig8 cell {record['cell_id']!r}: avg relative error {avg:.4f} "
+                f"escapes [0, {bound:.4f}] (= {self.multiplier} x expected at "
+                f"m={synopses})",
+                cell_id=record["cell_id"], avg=avg, bound=bound,
+            ))
+        p50, p90, p99 = (
+            metrics["p50_rel_error"], metrics["p90_rel_error"], metrics["p99_rel_error"]
+        )
+        if not (0.0 <= p50 <= p90 <= p99):
+            violations.append(self.violation(
+                f"fig8 cell {record['cell_id']!r}: percentiles are unordered "
+                f"(p50={p50}, p90={p90}, p99={p99})",
+                cell_id=record["cell_id"],
+            ))
+        return violations
+
+
+class RoundsConstantBound(StoreInvariant):
+    name = "rounds-constant-bound"
+    section = "Theorem 2, §V (O(1) flooding rounds per query)"
+    description = (
+        "An honest execution's flooding-round count is a small constant "
+        "independent of network size."
+    )
+    scenario = "rounds"
+
+    def check_record(self, spec: Any, record: Dict[str, Any]) -> List[Violation]:
+        rounds = record["metrics"]["vmat_rounds"]
+        if not (1.0 <= rounds <= MAX_FLOODING_ROUNDS):
+            return [self.violation(
+                f"rounds cell {record['cell_id']!r}: {rounds} flooding rounds "
+                f"escapes [1, {MAX_FLOODING_ROUNDS}] — Theorem 2 promises a "
+                "size-independent constant",
+                cell_id=record["cell_id"], rounds=rounds,
+            )]
+        return []
+
+
+STORE_INVARIANTS: Tuple[StoreInvariant, ...] = (
+    StoreSeedDerivation(),
+    ChaosBenignSafety(),
+    Fig7ThetaMonotonicity(),
+    Fig8SynopsisErrorBound(),
+    RoundsConstantBound(),
+)
+
+
+def check_run(run_store) -> Tuple[int, List[Violation]]:
+    """Audit one campaign run: structural integrity + store invariants.
+
+    Returns ``(records_checked, violations)``.
+    """
+    violations: List[Violation] = [
+        Violation(
+            invariant="store-integrity",
+            detail=problem,
+            context={"run_id": run_store.run_id},
+        )
+        for problem in run_store.validate()
+    ]
+    spec = run_store.spec()
+    records = run_store.load_results()
+    for record in records:
+        for invariant in STORE_INVARIANTS:
+            if invariant.applies_to(record):
+                violations.extend(invariant.check_record(spec, record))
+    return len(records), violations
+
+
+def check_store(store, run_ids=None) -> Dict[str, Tuple[int, List[Violation]]]:
+    """Audit several runs of a :class:`~repro.campaign.store.ResultStore`.
+
+    ``run_ids`` limits the audit; ``None`` audits every run.  Returns
+    ``{run_id: (records_checked, violations)}``.
+    """
+    runs = (
+        [store.get_run(run_id) for run_id in run_ids]
+        if run_ids is not None
+        else store.list_runs()
+    )
+    return {run.run_id: check_run(run) for run in runs}

@@ -24,6 +24,7 @@ The registry is process-global; caches are keyed by name and report hit
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Dict, Hashable, Iterator, List, Optional
@@ -33,8 +34,16 @@ from ..errors import ConfigError
 #: All caches ever constructed, by name — the disable/clear/stats surface.
 _REGISTRY: "OrderedDict[str, LRUCache]" = OrderedDict()
 
+#: Environment override: set ``REPRO_DISABLE_PERF_CACHES=1`` to start the
+#: process with every cache off (the reference path).  CI runs the full
+#: test matrix a second time under this flag to prove warm and cache-free
+#: executions are bit-identical end to end.
+_DISABLED_BY_ENV = os.environ.get("REPRO_DISABLE_PERF_CACHES", "").strip().lower() in {
+    "1", "true", "yes", "on",
+}
+
 #: Process-global switch; flipped only by :func:`set_caching`.
-_ENABLED = True
+_ENABLED = not _DISABLED_BY_ENV
 
 
 class LRUCache:

@@ -128,3 +128,14 @@ class ClockAssignment:
         """
         offsets = [clock.effective_offset for clock in self.clocks.values()]
         return max(offsets) - min(offsets) if offsets else 0.0
+
+    def drift_active(self) -> bool:
+        """Whether any clock currently carries an injected drift excursion."""
+        return any(clock.drift != 0.0 for clock in self.clocks.values())
+
+    def within_bound(self, tolerance: float = 1e-12) -> bool:
+        """The paper's Section-III synchronization assumption, as a check:
+        every pair of clocks disagrees by at most ``Delta``.  Injected
+        drift (:mod:`repro.faults`) is allowed to break this — callers
+        gate on :meth:`drift_active` first."""
+        return self.max_pairwise_error() <= self.config.max_error + tolerance

@@ -57,6 +57,7 @@ class Tracer:
         self._events: List[TraceEvent] = []
         self._sequence = 0
         self.dropped = 0
+        self._listeners: List[Any] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -65,8 +66,30 @@ class Tracer:
         if self.capacity is not None and len(self._events) >= self.capacity:
             self.dropped += 1
             return
-        self._events.append(TraceEvent(self._sequence, kind, fields))
+        event = TraceEvent(self._sequence, kind, fields)
+        self._events.append(event)
         self._sequence += 1
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # Listeners (online consumers, e.g. repro.invariants)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Subscribe a callable to every event *as it is recorded*.
+
+        Listeners see exactly the events that land in the buffer (an
+        event dropped by ``capacity`` is not delivered), in order, on
+        the recording thread.  This is the online hook the invariant
+        monitor (:mod:`repro.invariants`) attaches through.
+        """
+        if not callable(listener):
+            raise ReproError("tracer listener must be callable")
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Querying
@@ -109,6 +132,20 @@ class Tracer:
     @staticmethod
     def from_jsonl(text: str) -> List[Dict[str, Any]]:
         return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    def save(self, path) -> None:
+        """Write the trace as a JSONL file (one event per line)."""
+        with open(path, "w") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text)
+                handle.write("\n")
+
+    @staticmethod
+    def load(path) -> List[Dict[str, Any]]:
+        """Read a JSONL trace file back into event dicts."""
+        with open(path) as handle:
+            return Tracer.from_jsonl(handle.read())
 
     # ------------------------------------------------------------------
     # Attachment

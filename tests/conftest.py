@@ -15,6 +15,17 @@ from repro.config import ExperimentConfig, KeyConfig, ProtocolConfig, Revocation
 from repro.topology import grid_topology, line_topology, star_topology
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _shutdown_worker_pool():
+    """Tear down the campaign runner's persistent worker pool after the
+    suite, so pytest exits promptly instead of waiting on idle forked
+    workers (they are spawned lazily by any campaign/parallelism test)."""
+    yield
+    from repro.campaign.runner import shutdown_worker_pool
+
+    shutdown_worker_pool()
+
+
 @pytest.fixture
 def config() -> ExperimentConfig:
     return small_test_config()

@@ -83,3 +83,40 @@ def test_matrix_invariants(topology_name, strategy_name, query_name):
         truth = query.true_value(list(readings.values()))
         if truth > 0:
             assert abs(result.estimate - truth) / truth < 0.8
+
+
+def run_cell(topology_name: str, strategy_name: str, query_name: str):
+    """One matrix cell, returning everything observable about the run."""
+    topology, depth, malicious = TOPOLOGIES[topology_name]()
+    deployment = build_deployment(
+        config=small_test_config(depth_bound=depth),
+        topology=topology,
+        malicious_ids=malicious,
+        seed=31,
+    )
+    adversary = Adversary(deployment.network, STRATEGIES[strategy_name](), seed=31)
+    protocol = VMATProtocol(deployment.network, adversary=adversary)
+    readings = {i: float(30 + (i * 13) % 60) for i in topology.sensor_ids}
+    result = protocol.execute(QUERIES[query_name](), readings)
+    return {
+        "outcome": result.outcome.value,
+        "estimate": result.estimate,
+        "revocations": sorted(result.revocations),
+        "metrics": deployment.network.metrics.to_dict(),
+    }
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGIES))
+def test_matrix_bit_identical_with_caches_disabled(strategy_name):
+    """The repro.perf caches are observability-free: a full-stack run
+    with every cache disabled produces byte-identical outcomes,
+    estimates, revocations and metrics (the CI ``matrix-nocache`` leg
+    re-runs the whole matrix under REPRO_DISABLE_PERF_CACHES=1 to check
+    the env-var path too)."""
+    from repro.perf.cache import clear_caches, disabled
+
+    clear_caches()
+    warm = run_cell("grid", strategy_name, "min")
+    with disabled():
+        cold = run_cell("grid", strategy_name, "min")
+    assert warm == cold
