@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples figures all clean
+.PHONY: install test bench bench-scale report examples figures all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-scale:
+	$(PYTHON) -m repro bench scale --compare BENCH_scale.json
 
 report:
 	$(PYTHON) -m repro report

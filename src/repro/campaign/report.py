@@ -87,6 +87,8 @@ def aggregate_records(records: Iterable[Mapping[str, Any]]) -> Dict[GroupKey, Di
 
 def summarize_run(run: RunStore) -> Dict[str, Any]:
     """Everything a report needs: manifest timing + per-group aggregates."""
+    from ..perf.cache import sum_cache_stats
+
     manifest = run.read_manifest()
     records = run.load_results()
     ok = [r for r in records if r.get("status") == "ok"]
@@ -94,6 +96,14 @@ def summarize_run(run: RunStore) -> Dict[str, Any]:
     groups = aggregate_records(records)
     cell_wall = math.fsum(float(r.get("wall_time_s", 0.0)) for r in ok)
     wall = manifest.get("wall_time_s")
+    # Per-cell perf-cache deltas were measured inside whichever process
+    # ran each cell, so summing them is the only honest aggregate under
+    # a worker pool (the parent's own cache counters stay at zero).
+    cache_totals: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        delta = record.get("cache_stats")
+        if delta:
+            cache_totals = sum_cache_stats(cache_totals, delta)
     return {
         "run_id": run.run_id,
         "name": manifest.get("name"),
@@ -107,6 +117,7 @@ def summarize_run(run: RunStore) -> Dict[str, Any]:
         "wall_time_s": wall,
         "cell_wall_time_s": round(cell_wall, 6),
         "cells_per_sec": manifest.get("cells_per_sec"),
+        "cache_stats": cache_totals,
         "groups": {
             f"{scenario} {params}": {m: agg.to_dict() for m, agg in metrics.items()}
             for (scenario, params), metrics in groups.items()
@@ -244,6 +255,7 @@ def bench_payload(
         "wall_time_s": summary.get("wall_time_s"),
         "cell_wall_time_s": summary.get("cell_wall_time_s"),
         "cells_per_sec": summary.get("cells_per_sec"),
+        "cache_stats": summary.get("cache_stats", {}),
         "groups": summary["groups"],
     }
     if baseline_summary is not None:

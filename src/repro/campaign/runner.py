@@ -153,6 +153,8 @@ def execute_cell(payload: CellPayload) -> Dict[str, Any]:
     ``status="error"``/``"timeout"`` records after the retry budget is
     spent, so one bad cell cannot abort a sweep.
     """
+    from ..perf.cache import cache_stats, diff_cache_stats
+
     scenario_name, params, cell_id, seed, timeout, imports = payload
     for module in imports:
         # Warm workers (and inline runs past their first cell) hit
@@ -169,8 +171,15 @@ def execute_cell(payload: CellPayload) -> Dict[str, Any]:
         "error": None,
         "attempts": 0,
         "wall_time_s": 0.0,
+        # This cell's perf-cache counter deltas, taken in the process
+        # that ran it.  Each pool worker owns a private cache registry
+        # the parent never sees; shipping per-cell deltas home lets
+        # reports sum them without double-counting a warm worker's
+        # cumulative counters (see repro.campaign.report).
+        "cache_stats": {},
     }
     started = time.perf_counter()
+    stats_before = cache_stats()
     try:
         scenario = get_scenario(scenario_name)
     except ReproError as exc:
@@ -197,6 +206,7 @@ def execute_cell(payload: CellPayload) -> Dict[str, Any]:
             record["status"] = "error"
             record["error"] = f"{type(exc).__name__}: {exc}"
     record["wall_time_s"] = round(time.perf_counter() - started, 6)
+    record["cache_stats"] = diff_cache_stats(stats_before, cache_stats())
     return record
 
 

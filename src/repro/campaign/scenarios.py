@@ -251,3 +251,38 @@ def chaos_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         "partition_intervals": net["partition_intervals"],
         "flooding_rounds": net["flooding_rounds"],
     }
+
+
+@scenario(
+    "scale",
+    description=(
+        "Bit-identity reference cell for the scale layer: disabled-vs-warm "
+        "executions on one deployment must produce identical metrics"
+    ),
+    grid={
+        "kind": ("grid", "line"),
+        "nodes": (100,),
+        "executions": (2,),
+    },
+    reduced_grid={
+        "kind": ("grid",),
+        "nodes": (100,),
+        "executions": (2,),
+    },
+)
+def scale_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """Zero-tolerance anchor for the large-topology optimization layer.
+
+    Runs :func:`repro.perf.scale.reference_equality` on the issue's
+    100-node reference cell: the cache-disabled leg and a cold-started
+    warm leg must agree byte-for-byte on ``Metrics.to_dict()``.  Every
+    returned number is deterministic in (params, seed), so campaign
+    store diffs gate this cell at zero tolerance — any observable drift
+    introduced by a future optimization fails the comparison instead of
+    hiding inside a timing threshold.
+    """
+    from ..perf.scale import reference_equality
+
+    return reference_equality(
+        str(params["kind"]), int(params["nodes"]), int(params["executions"]), seed
+    )

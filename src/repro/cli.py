@@ -16,6 +16,9 @@
     python -m repro faults example [--profile mixed] [--seed 0]
     python -m repro bench [--output BENCH_perf.json] [--profile]
                           [--compare BASELINE.json --threshold 0.5]
+    python -m repro bench scale [--sizes 100 1000 10000]
+                                [--output BENCH_scale.json]
+                                [--compare BENCH_scale.json]
 
 Every subcommand prints the same rows/series the corresponding benchmark
 asserts on (see DESIGN.md §3 for the experiment index).  ``campaign``
@@ -647,8 +650,48 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_scale(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .perf.scale import SCALE_SIZES, compare_scale_payloads, run_scale_bench
+
+    sizes = tuple(args.sizes) if args.sizes else SCALE_SIZES
+    try:
+        report = run_scale_bench(
+            sizes=sizes,
+            progress=(None if args.quiet else lambda line: print(f"  {line}")),
+        )
+    except ReproError as exc:
+        print(f"SCALE BENCH FAILED  {exc}")
+        return 1
+    print(report.render())
+    payload = report.payload()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nscale payload written to {args.output}")
+    if args.compare:
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"ERROR  cannot read baseline {args.compare}: {exc}")
+            return 1
+        comparison = compare_scale_payloads(baseline, payload, threshold=args.threshold)
+        print()
+        print(comparison.render())
+        if not comparison.passed:
+            return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
+
+    if getattr(args, "bench_command", None) == "scale":
+        return cmd_bench_scale(args)
 
     from .errors import ReproError
     from .perf.bench import compare_bench_payloads, run_bench
@@ -708,6 +751,22 @@ def _add_bench_parser(sub) -> None:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-bench progress lines")
     p.set_defaults(func=cmd_bench)
+    bsub = p.add_subparsers(dest="bench_command")
+    scale = bsub.add_parser(
+        "scale",
+        help="whole-execution scale sweep (100/1k/10k-node topologies)",
+    )
+    scale.add_argument("--sizes", type=int, nargs="+", default=None,
+                       metavar="N", help="node counts to sweep (default 100 1000 10000)")
+    scale.add_argument("--output", type=str, default=None, metavar="BENCH_scale.json",
+                       help="write the JSON payload here")
+    scale.add_argument("--compare", type=str, default=None, metavar="BASELINE.json",
+                       help="gate speedup ratios against a recorded payload")
+    scale.add_argument("--threshold", type=float, default=0.5,
+                       help="max tolerated relative speedup drop (default 0.5)")
+    scale.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines")
+    scale.set_defaults(func=cmd_bench, bench_command="scale")
 
 
 def _add_faults_parser(sub) -> None:

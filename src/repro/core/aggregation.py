@@ -83,11 +83,17 @@ def run_aggregation(
         i for i, node in network.nodes.items()
         if i not in revoked and node.has_valid_level(L)
     ]
-    # Sensors grouped by the interval in which they transmit.
+    # Sensors grouped by the interval in which they transmit, and by the
+    # interval in which they listen (level i listens in interval L - i).
+    # Grouping once keeps the interval loop from rescanning every
+    # participant's level L times; slot order preserves participant order.
     send_slot: Dict[int, List[int]] = {}
+    listen_slot: Dict[int, List[int]] = {}
     for node_id in participants:
         level = network.nodes[node_id].level
         send_slot.setdefault(L - level + 1, []).append(node_id)
+        if level <= L - 1:
+            listen_slot.setdefault(L - level, []).append(node_id)
 
     # Best message seen so far per (node, instance); starts as own reading.
     best: Dict[int, List[ReadingMessage]] = {}
@@ -111,14 +117,10 @@ def run_aggregation(
             _honest_transmit(network, phase, node_id, best[node_id], k)
 
         # Honest sensors listening this interval: fold verified receipts.
-        # A sensor at level i listens in interval L - i, i.e. level L - k.
-        listening_level = L - k
-        if listening_level >= 1:
-            for node_id in participants:
-                node = network.nodes[node_id]
-                if node.level != listening_level:
-                    continue
-                _honest_collect(network, phase, node, best[node_id], k, num_instances)
+        # A sensor at level i listens in interval L - i (grouped above).
+        for node_id in listen_slot.get(k, ()):
+            node = network.nodes[node_id]
+            _honest_collect(network, phase, node, best[node_id], k, num_instances)
 
         # Base station listens in interval L.
         if k == L:
@@ -131,7 +133,7 @@ def run_aggregation(
 def _honest_transmit(network, phase, node_id, messages, interval) -> None:
     node = network.nodes[node_id]
     bundle = SynopsisBundle(messages=tuple(messages))
-    parents = [p for p in node.parents if network.registry.link_usable(node_id, p)]
+    parents = [p for p in node.parents if network.link_usable(node_id, p)]
     if not parents:
         return  # all links to parents were revoked since tree formation
     sent = phase.send(node_id, parents, bundle, interval=interval)
@@ -141,7 +143,7 @@ def _honest_transmit(network, phase, node_id, messages, interval) -> None:
             "honest senders transmit exactly one bundle"
         )
     for parent in parents:
-        out_index = network.registry.edge_key_index(node_id, parent)
+        out_index = network.edge_key_index(node_id, parent)
         if out_index is None:
             continue
         for message in messages:

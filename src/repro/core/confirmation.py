@@ -75,6 +75,7 @@ def run_confirmation(
 
     revoked = network.registry.revoked_sensors
     honest_ids = [i for i in network.nodes if i not in revoked]
+    honest_set = set(honest_ids)
     # Vetoes scheduled for transmission in the coming interval.
     pending: Dict[int, VetoMessage] = {}
     vetoers: List[int] = []
@@ -99,8 +100,16 @@ def run_confirmation(
         pending.clear()
 
         # Non-vetoers adopt the first verified veto they received.
+        # Iterating the (typically sparse) arrival map instead of every
+        # honest sensor is pure loop-skipping: ``honest_ids`` ascends, so
+        # ``sorted(arrived)`` filtered to honest sensors processes the
+        # reference's nodes in the reference's order, which keeps the
+        # ``pending`` schedule — and next interval's send order — intact.
         if k < L:  # a forward scheduled for interval L+1 could never land
-            for node_id in honest_ids:
+            arrived = phase.arrival_map(k)
+            for node_id in sorted(arrived) if arrived else ():
+                if node_id not in honest_set:
+                    continue
                 node = network.nodes[node_id]
                 if node.forwarded_veto:
                     continue
@@ -171,7 +180,7 @@ def _transmit_veto(network, phase, node_id, veto, interval) -> None:
     phase.send(node_id, neighbors, veto, interval=interval)
     node = network.nodes[node_id]
     for neighbor in neighbors:
-        out_index = network.registry.edge_key_index(node_id, neighbor)
+        out_index = network.edge_key_index(node_id, neighbor)
         if out_index is None:
             continue
         node.audit.conf_sends.append(

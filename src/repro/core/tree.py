@@ -83,6 +83,7 @@ def form_tree(
 
     revoked = network.registry.revoked_sensors
     honest_ids = [i for i in network.nodes if i not in revoked]
+    honest_set = set(honest_ids)
     # (node_id -> beacon to forward next interval)
     pending_forward: Dict[int, TreeBeacon] = {}
 
@@ -108,8 +109,17 @@ def form_tree(
             for node_id in sorted(network.malicious_ids):
                 adversary.tree_interval(ctx, node_id, k)
 
-        # 4. Honest sensors process this interval's arrivals.
-        for node_id in honest_ids:
+        # 4. Honest sensors process this interval's arrivals.  Iterating
+        # the (typically sparse) arrival map instead of every honest
+        # sensor is pure loop-skipping: ``honest_ids`` ascends, so
+        # visiting ``sorted(arrived)`` filtered to honest sensors
+        # processes exactly the reference's nodes in the reference's
+        # order — which also keeps ``pending_forward`` insertion order,
+        # and hence next interval's send order, bit-identical.
+        arrived = phase.arrival_map(k)
+        for node_id in sorted(arrived) if arrived else ():
+            if node_id not in honest_set:
+                continue
             node = network.nodes[node_id]
             arrivals = phase.verified_inbox(node_id, k)
             beacons = [d for d in arrivals if isinstance(d.payload, TreeBeacon)]

@@ -28,8 +28,20 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import BroadcastAuthError
+from ..perf.cache import LRUCache, caching_enabled
 from .hash import hash_chain, oneway_hash
 from .mac import compute_mac, verify_mac
+
+#: Warm-path memos for the per-sensor disclosure checks.  Every honest
+#: sensor verifies the *same* broadcast: the chain walk is a pure
+#: function of (disclosed key, gap, expected chain head) and the MAC
+#: check of (key, mac, index, payload), so one sensor's verification
+#: answers for all n.  Both memos key on the actual byte values — two
+#: networks with different chains can never collide — and the MAC memo
+#: stores positive verdicts only.  Disabled (:mod:`repro.perf.cache`),
+#: every sensor re-walks and re-MACs exactly as the construction says.
+_CHAIN_WALKS = LRUCache("broadcast-chain-walks", maxsize=4096)
+_BROADCAST_MACS = LRUCache("broadcast-mac-verdicts", maxsize=4096)
 
 
 @dataclass(frozen=True)
@@ -136,11 +148,23 @@ class BroadcastVerifier:
         if gap > self._max_gap:
             return None
         # Walk the candidate key forward to the last verified chain value.
-        value = disclosure.chain_key
-        for _ in range(gap):
-            value = oneway_hash(value)
-        if value != self._last_verified_key:
-            return None
+        if caching_enabled():
+            walk_key = (disclosure.chain_key, gap, self._last_verified_key)
+            chain_ok = _CHAIN_WALKS.get(walk_key)
+            if chain_ok is None:
+                value = disclosure.chain_key
+                for _ in range(gap):
+                    value = oneway_hash(value)
+                chain_ok = value == self._last_verified_key
+                _CHAIN_WALKS.put(walk_key, chain_ok)
+            if not chain_ok:
+                return None
+        else:
+            value = disclosure.chain_key
+            for _ in range(gap):
+                value = oneway_hash(value)
+            if value != self._last_verified_key:
+                return None
         message = self._pending.pop(index, None)
         # Advance the chain head even if no payload was buffered: the key
         # is now public and must never authenticate future traffic.
@@ -149,7 +173,23 @@ class BroadcastVerifier:
         self._pending = {i: m for i, m in self._pending.items() if i > index}
         if message is None:
             return None
-        if not verify_mac(disclosure.chain_key, message.mac, index, *message.payload):
+        if caching_enabled():
+            try:
+                mac_key = (disclosure.chain_key, message.mac, index, message.payload)
+                mac_ok = _BROADCAST_MACS.get(mac_key)
+            except TypeError:
+                # Unhashable payload part: memo cannot apply, verify direct.
+                mac_key = None
+                mac_ok = None
+            if mac_ok is None:
+                mac_ok = verify_mac(
+                    disclosure.chain_key, message.mac, index, *message.payload
+                )
+                if mac_ok and mac_key is not None:
+                    _BROADCAST_MACS.put(mac_key, True)
+            if not mac_ok:
+                return None
+        elif not verify_mac(disclosure.chain_key, message.mac, index, *message.payload):
             return None
         return message.payload
 

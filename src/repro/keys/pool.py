@@ -19,6 +19,12 @@ from ..perf.cache import LRUCache
 #: a pure PRF of (master, label, id) — caching is bit-transparent.
 _DERIVED_KEYS = LRUCache("derived-keys", maxsize=32768)
 
+#: Read-only fast path (plain dict lookup; see ``LRUCache.view``).  Key
+#: derivation sits under every per-frame MAC, so the warm path skips the
+#: ``get`` accounting and bumps the hit counter directly; misses still
+#: route through ``get``/``put``.
+_DERIVED_KEYS_VIEW = _DERIVED_KEYS.view()
+
 
 class KeyPool:
     """Derivable global key pool (the paper's ``u`` keys) + sensor keys."""
@@ -40,7 +46,11 @@ class KeyPool:
                 f"pool index {index} out of range [0, {self.config.pool_size})"
             )
         cache_key = (self._master, "pool-key", index, self.config.key_length)
-        key = _DERIVED_KEYS.get(cache_key)
+        key = _DERIVED_KEYS_VIEW.get(cache_key)
+        if key is not None:
+            _DERIVED_KEYS.hits += 1
+            return key
+        key = _DERIVED_KEYS.get(cache_key)  # None; counts the miss when enabled
         if key is None:
             key = derive_key(self._master, "pool-key", index, length=self.config.key_length)
             _DERIVED_KEYS.put(cache_key, key)
@@ -51,7 +61,11 @@ class KeyPool:
         if sensor_id < 0:
             raise KeyManagementError(f"invalid sensor id {sensor_id}")
         cache_key = (self._master, "sensor-key", sensor_id, self.config.key_length)
-        key = _DERIVED_KEYS.get(cache_key)
+        key = _DERIVED_KEYS_VIEW.get(cache_key)
+        if key is not None:
+            _DERIVED_KEYS.hits += 1
+            return key
+        key = _DERIVED_KEYS.get(cache_key)  # None; counts the miss when enabled
         if key is None:
             key = derive_key(
                 self._master, "sensor-key", sensor_id, length=self.config.key_length

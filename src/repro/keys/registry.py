@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import KeyConfig, RevocationConfig
 from ..errors import KeyManagementError
+from ..perf.cache import caching_enabled
 from .pool import KeyPool
 from .revocation import RevocationEvent, RevocationState
 from .ring import KeyRing, ring_seed
@@ -61,6 +62,24 @@ class KeyRegistry:
             theta=theta,
             cascade=cascade,
         )
+        # Rings are immutable for the deployment's lifetime, so the set
+        # intersection behind shared_key_indices is a pure per-edge
+        # constant — memoized per registry instance, gated on the global
+        # perf-cache switch so the disabled path stays the reference
+        # computation (docs/PERFORMANCE.md bit-identical contract).
+        self._shared_indices_memo: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+    @property
+    def revocation_epoch(self) -> int:
+        """Length of the append-only revocation log.
+
+        Every revocation action (including the ring-dump key events of a
+        sensor revocation) appends exactly one entry, so this counter is
+        a version number for the secure topology: consumers that cached
+        link state at epoch ``e`` need only apply ``log[e:]`` to catch
+        up (see the incremental view in :mod:`repro.net.network`).
+        """
+        return len(self.revocation.log)
 
     # ------------------------------------------------------------------
     # Key lookups
@@ -100,7 +119,14 @@ class KeyRegistry:
             return self.ring(b).indices
         if b == BASE_STATION_ID:
             return self.ring(a).indices
-        return self.ring(a).shared_indices(self.ring(b))
+        if not caching_enabled():
+            return self.ring(a).shared_indices(self.ring(b))
+        edge = (a, b) if a < b else (b, a)
+        shared = self._shared_indices_memo.get(edge)
+        if shared is None:
+            shared = self.ring(a).shared_indices(self.ring(b))
+            self._shared_indices_memo[edge] = shared
+        return shared
 
     def edge_key_index(self, a: int, b: int) -> Optional[int]:
         """The current edge key for link ``(a, b)``.

@@ -1,6 +1,6 @@
 """repro.perf — the bit-identical hot-path optimization layer.
 
-This package owns two things:
+This package owns three things:
 
 * :mod:`~repro.perf.cache` — the bounded-LRU infrastructure behind
   every hot-path cache in the repository (pre-keyed HMAC states,
@@ -11,7 +11,12 @@ This package owns two things:
   ``python -m repro bench``: it times each hot path against an inline
   reference implementation, times end-to-end campaign cells, asserts
   the bit-identical contract while doing so, and writes/compares
-  ``BENCH_perf.json`` payloads with the campaign threshold logic.
+  ``BENCH_perf.json`` payloads with the campaign threshold logic;
+* :mod:`~repro.perf.scale` — the whole-execution scale sweep behind
+  ``python -m repro bench scale``: single VMAT executions on 100- to
+  10,000-node topologies, with a cache-disabled reference leg (up to
+  1,000 nodes) asserting end-to-end metrics equality, and a
+  ``BENCH_scale.json`` payload gated on speedup ratios.
 
 The layer-wide contract (see docs/PERFORMANCE.md): **no optimization may
 change any observable byte** — MACs, PRF outputs, synopsis floats,

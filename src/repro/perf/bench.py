@@ -51,7 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ReproError
-from .cache import cache_stats, clear_caches, disabled
+from .cache import cache_stats, clear_caches, disabled, merge_cache_stats
 
 # ----------------------------------------------------------------------
 # Reference implementations (pre-optimization code, kept verbatim)
@@ -649,6 +649,12 @@ class BenchReport:
     e2e_cells_per_sec_ref: float = 0.0
     e2e_cells_per_sec_opt: float = 0.0
     profile_table: Optional[str] = None
+    #: Cache stats merged across snapshots taken while the caches were
+    #: still warm (after the micro suite and after each e2e cell).  A
+    #: single read at payload time sits *after* the last ``disabled()``
+    #: entry cleared everything, which is how BENCH_perf.json once
+    #: recorded "960 hits, size 0" for a cache that was plainly full.
+    cache_stat_snapshot: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def e2e_speedup(self) -> float:
@@ -684,7 +690,7 @@ class BenchReport:
                 "optimized": self.e2e_cells_per_sec_opt,
                 "speedup": self.e2e_speedup,
             },
-            "cache_stats": cache_stats(),
+            "cache_stats": self.cache_stat_snapshot or cache_stats(),
         }
 
     def render(self) -> str:
@@ -768,6 +774,11 @@ def run_bench(
         result = _run_micro(bench, repeat)
         report.micro.append(result)
         say(f"micro {result.name}: {result.ref_us} -> {result.opt_us} us ({result.speedup}x)")
+    # Snapshot while the micro caches are still populated: each e2e
+    # cell's reference round enters disabled(), which clears them.
+    report.cache_stat_snapshot = merge_cache_stats(
+        report.cache_stat_snapshot, cache_stats()
+    )
 
     tables: List[str] = []
     for name, params in E2E_CELLS:
@@ -776,6 +787,10 @@ def run_bench(
         profiler = cProfile.Profile() if profile else None
         result = _run_e2e_cell(name, params, repeat=max(2, min(repeat, 3)), profiler=profiler)
         report.e2e.append(result)
+        # The warm run just finished, so sizes are live right now.
+        report.cache_stat_snapshot = merge_cache_stats(
+            report.cache_stat_snapshot, cache_stats()
+        )
         say(f"e2e {name}: {result.ref_s} -> {result.opt_s} s ({result.speedup}x)")
         if profiler is not None:
             tables.append(_hotspot_table(profiler, profile_top, cell=name))

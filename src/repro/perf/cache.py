@@ -162,3 +162,71 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
 def registered_caches() -> List[str]:
     """Names of every cache constructed so far (import-order stable)."""
     return list(_REGISTRY)
+
+
+def merge_cache_stats(
+    base: Dict[str, Dict[str, int]], update: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Combine two :func:`cache_stats` snapshots into one honest view.
+
+    Counters (hits/misses/evictions) are cumulative per process, so the
+    later snapshot's value wins via ``max``.  ``size`` is *instantaneous*
+    and gets wiped by any intervening :func:`clear_caches` — taking the
+    max across snapshots preserves the high-water mark a cleared cache
+    actually reached (the ``BENCH_perf.json`` "960 hits, size 0" bug was
+    a post-clear read discarding exactly this).
+    """
+    merged = {name: dict(stats) for name, stats in base.items()}
+    for name, stats in update.items():
+        into = merged.setdefault(name, dict(stats))
+        for field, value in stats.items():
+            if field == "maxsize":
+                into[field] = value
+            else:
+                into[field] = max(into.get(field, 0), value)
+    return merged
+
+
+def diff_cache_stats(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-interval counter deltas between two snapshots of one process.
+
+    Used by campaign workers to report what *one cell* contributed:
+    summing deltas across records never double-counts a warm worker's
+    cumulative counters.  ``size``/``maxsize`` are carried from ``after``
+    (they are states, not flows).
+    """
+    delta: Dict[str, Dict[str, int]] = {}
+    for name, stats in after.items():
+        prior = before.get(name, {})
+        delta[name] = {
+            field: (
+                value
+                if field in ("size", "maxsize")
+                else max(0, value - prior.get(field, 0))
+            )
+            for field, value in stats.items()
+        }
+    return delta
+
+
+def sum_cache_stats(
+    base: Dict[str, Dict[str, int]], delta: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Accumulate per-cell counter deltas (from :func:`diff_cache_stats`).
+
+    Counter flows add; ``size`` keeps the high-water mark; ``maxsize``
+    is a constant and is carried through.
+    """
+    merged = {name: dict(stats) for name, stats in base.items()}
+    for name, stats in delta.items():
+        into = merged.setdefault(name, {})
+        for field, value in stats.items():
+            if field == "maxsize":
+                into[field] = value
+            elif field == "size":
+                into[field] = max(into.get(field, 0), value)
+            else:
+                into[field] = into.get(field, 0) + value
+    return merged

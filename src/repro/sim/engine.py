@@ -16,20 +16,60 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SimulationError
 
 
-@dataclass(order=True, frozen=True)
 class Event:
-    """A scheduled callback.  Ordered by time, then insertion order."""
+    """A scheduled callback.  Ordered by time, then insertion order.
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
+    A ``__slots__`` class rather than a dataclass: large-topology runs
+    heap millions of these, and dropping the per-instance ``__dict__``
+    roughly halves their memory while keeping the public attribute API.
+    The sequence number is unique per engine, so comparisons never reach
+    the (incomparable) callback.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "label")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+
+    def _key(self) -> "tuple[float, int]":
+        return (self.time, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event(time={self.time}, sequence={self.sequence}, label={self.label!r})"
 
 
 class SimulationEngine:
@@ -115,8 +155,9 @@ class SimulationEngine:
         event = heapq.heappop(self._queue)
         self._now = event.time
         self._events_processed += 1
-        for hook in self._time_hooks:
-            hook(self._now)
+        if self._time_hooks:
+            for hook in self._time_hooks:
+                hook(self._now)
         event.callback()
         return event
 
@@ -199,7 +240,18 @@ class IntervalSchedule:
             return 0
         if time >= self.end_time:
             return self.num_intervals + 1
-        return int((time - self.start_time) // self.interval_length) + 1
+        k = int((time - self.start_time) // self.interval_length) + 1
+        # ``time - start_time`` can lose a ulp when start_time and the
+        # interval length are not float-aligned (start 5.0, length 0.1:
+        # 5.1 - 5.0 = 0.0999...), landing an exact boundary time in the
+        # wrong interval.  Nudge the candidate until it agrees with
+        # interval_start/interval_end, which place boundaries by
+        # multiplication — one step is always enough at these magnitudes.
+        if k < self.num_intervals and time >= self.start_time + k * self.interval_length:
+            k += 1
+        elif k > 1 and time < self.start_time + (k - 1) * self.interval_length:
+            k -= 1
+        return k
 
     def midpoint(self, k: int) -> float:
         """Global midpoint of interval ``k`` — the canonical safe send time."""

@@ -17,6 +17,41 @@ from ..errors import TopologyError
 BASE_STATION_ID = 0
 
 
+def depths_over(
+    adjacency: Dict[int, Iterable[int]],
+    source: int = BASE_STATION_ID,
+    allowed: Optional[Set[int]] = None,
+) -> Dict[int, int]:
+    """BFS depths over a plain adjacency mapping.
+
+    The workhorse behind :meth:`Topology.depths` and the incremental
+    secure-topology view (:mod:`repro.net.network`): running directly on
+    an adjacency dict lets callers maintain a filtered edge set in place
+    instead of materializing a :class:`Topology` copy per query.
+    ``allowed`` restricts traversal (the source is always allowed);
+    unreachable nodes are absent from the result.
+    """
+    depth: Dict[int, int] = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        next_depth = depth[current] + 1
+        for neighbor in adjacency.get(current, ()):
+            if neighbor not in depth and (allowed is None or neighbor in allowed):
+                depth[neighbor] = next_depth
+                frontier.append(neighbor)
+    return depth
+
+
+def component_over(
+    adjacency: Dict[int, Iterable[int]],
+    source: int = BASE_STATION_ID,
+    allowed: Optional[Set[int]] = None,
+) -> Set[int]:
+    """Nodes reachable from ``source`` over ``adjacency`` within ``allowed``."""
+    return set(depths_over(adjacency, source=source, allowed=allowed))
+
+
 class Topology:
     """An undirected radio graph over integer node ids.
 
@@ -101,18 +136,11 @@ class Topology:
         always considered included.  Unreachable nodes are absent from
         the result.
         """
-        allowed = set(include) if include is not None else set(range(self.num_nodes))
-        allowed.add(source)
+        allowed = set(include) if include is not None else None
+        if allowed is not None:
+            allowed.add(source)
         self._check_node(source)
-        depth: Dict[int, int] = {source: 0}
-        frontier = deque([source])
-        while frontier:
-            current = frontier.popleft()
-            for neighbor in self._adjacency[current]:
-                if neighbor in allowed and neighbor not in depth:
-                    depth[neighbor] = depth[current] + 1
-                    frontier.append(neighbor)
-        return depth
+        return depths_over(self._adjacency, source=source, allowed=allowed)
 
     def network_depth(self, exclude: Optional[Set[int]] = None) -> int:
         """The paper's ``L``: max depth over reachable honest sensors."""

@@ -1,0 +1,457 @@
+"""The large-topology scale layer: batched delivery, lazy edge MACs,
+interval-edge semantics, cache-stat algebra and the scale bench harness.
+
+These tests pin the contracts the 10k-node path leans on:
+
+* ``IntervalSchedule.interval_of`` is exact at float interval
+  boundaries (consistent with ``interval_start``/``interval_end`` even
+  when ``start_time`` and the interval length are not float-aligned);
+* ``PhaseContext.arrival_map`` is a pure read-optimization over
+  ``inbox`` — same readability gate, same membership;
+* lazy edge-MAC verification is observationally identical to the eager
+  reference path, including when revocations land between a frame's
+  transmission and its first read;
+* the incremental secure-topology view answers exactly like the
+  registry-backed reference path across revocation epochs;
+* engine event ordering is deterministic and ``Event`` stays slotted;
+* the cache-stat algebra (merge/diff/sum) keeps honest counters across
+  clears and worker processes;
+* the scale bench's cell plan, payload gate and bit-identity check.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import build_deployment, small_test_config
+from repro.errors import NetworkError, ReproError, SimulationError
+from repro.net.message import TreeBeacon
+from repro.perf.cache import (
+    caching_enabled,
+    clear_caches,
+    diff_cache_stats,
+    disabled,
+    merge_cache_stats,
+    sum_cache_stats,
+)
+from repro.perf.scale import (
+    LINE_MAX_NODES,
+    REFERENCE_MAX_NODES,
+    SCALE_SIZES,
+    compare_scale_payloads,
+    grid_dims,
+    reference_equality,
+    scale_cells,
+)
+from repro.sim.engine import Event, IntervalSchedule, SimulationEngine
+from repro.topology import line_topology
+
+
+def beacon(origin=0, hop=1):
+    return TreeBeacon(origin=origin, hop_count=hop)
+
+
+# ----------------------------------------------------------------------
+# IntervalSchedule float boundaries
+# ----------------------------------------------------------------------
+class TestIntervalBoundaries:
+    @pytest.mark.parametrize(
+        "start,length,num",
+        [
+            (0.0, 1.0, 10),
+            (0.0, 0.1, 37),  # 0.1 is not representable
+            (5.0, 0.1, 50),  # 5.1 - 5.0 loses a ulp in subtraction
+            (3.7, 0.3, 29),
+            (1e6, 0.1, 20),  # large offset, tiny interval
+        ],
+    )
+    def test_boundaries_consistent_with_interval_start(self, start, length, num):
+        s = IntervalSchedule(start, length, num)
+        for k in range(1, num + 1):
+            boundary = s.interval_start(k)
+            assert s.interval_of(boundary) == k
+            assert s.interval_of(math.nextafter(boundary, -math.inf)) == k - 1
+            assert s.interval_of(s.midpoint(k)) == k
+            # interval_end(k) == interval_start(k+1) bit-for-bit, so the
+            # end boundary belongs to the next interval (k+1; the
+            # "ignored" sentinel num+1 past the phase).
+            assert s.interval_of(s.interval_end(k)) == k + 1
+
+    def test_before_and_after_phase(self):
+        s = IntervalSchedule(5.0, 0.1, 50)
+        assert s.interval_of(math.nextafter(5.0, -math.inf)) == 0
+        assert s.interval_of(-100.0) == 0
+        assert s.interval_of(s.end_time) == s.num_intervals + 1
+        assert s.interval_of(s.end_time + 1e9) == s.num_intervals + 1
+
+    def test_monotone_over_dense_samples(self):
+        s = IntervalSchedule(5.0, 0.1, 20)
+        previous = 0
+        time = math.nextafter(5.0, -math.inf)
+        while time < s.end_time + 0.05:
+            k = s.interval_of(time)
+            assert k >= previous
+            previous = k
+            time += 0.003
+
+    def test_unchanged_documented_semantics(self):
+        # The pre-fix doctest behaviour (aligned schedules) must hold.
+        s = IntervalSchedule(0.0, 1.0, 5)
+        assert s.interval_of(-0.5) == 0
+        assert s.interval_of(0.0) == 1
+        assert s.interval_of(0.999) == 1
+        assert s.interval_of(4.5) == 5
+        assert s.interval_of(5.0) == 6
+
+
+# ----------------------------------------------------------------------
+# arrival_map and interval-edge inbox visibility (batched path)
+# ----------------------------------------------------------------------
+class TestArrivalMap:
+    def test_future_interval_unreadable(self, line_deployment):
+        phase = line_deployment.network.new_phase("t", 3)
+        phase.begin_interval(1)
+        with pytest.raises(NetworkError):
+            phase.arrival_map(2)
+
+    def test_empty_interval_yields_shared_empty_map(self, line_deployment):
+        phase = line_deployment.network.new_phase("t", 3)
+        phase.begin_interval(1)
+        phase.begin_interval(2)
+        first = phase.arrival_map(1)
+        second = phase.arrival_map(2)
+        assert not first and not second
+        assert first is second  # the shared sentinel, never a fresh dict
+
+    def test_membership_matches_inbox(self, line_deployment):
+        net = line_deployment.network
+        phase = net.new_phase("t", 2)
+        phase.begin_interval(1)
+        phase.send(0, net.secure_neighbors(0), beacon(), interval=1)
+        phase.send(5, net.secure_neighbors(5), beacon(origin=5), interval=1)
+        arrived = phase.arrival_map(1)
+        with_frames = {
+            node for node in net.topology.node_ids if phase.inbox(node, 1)
+        }
+        assert set(arrived) == with_frames
+        for node in arrived:
+            assert list(arrived[node]) == phase.inbox(node, 1)
+
+    def test_future_send_invisible_until_interval_begins(self, line_deployment):
+        net = line_deployment.network
+        phase = net.new_phase("t", 3)
+        phase.begin_interval(1)
+        assert phase.send(0, [1], beacon(), interval=2)
+        with pytest.raises(NetworkError):
+            phase.inbox(1, 2)
+        with pytest.raises(NetworkError):
+            phase.arrival_map(2)
+        phase.begin_interval(2)
+        assert len(phase.verified_inbox(1, 2)) == 1
+        assert 1 in phase.arrival_map(2)
+
+    def test_current_interval_send_visible_immediately(self, line_deployment):
+        net = line_deployment.network
+        phase = net.new_phase("t", 2)
+        phase.begin_interval(1)
+        assert phase.send(0, [1], beacon(), interval=1)
+        assert 1 in phase.arrival_map(1)
+        assert len(phase.verified_inbox(1, 1)) == 1
+
+
+# ----------------------------------------------------------------------
+# Lazy edge-MAC verification == eager reference path
+# ----------------------------------------------------------------------
+class TestLazyVerification:
+    def _one_frame(self, seed=7):
+        deployment = build_deployment(
+            config=small_test_config(depth_bound=12),
+            topology=line_topology(10),
+            seed=seed,
+        )
+        net = deployment.network
+        phase = net.new_phase("t", 2)
+        phase.begin_interval(1)
+        assert phase.send(0, [1], beacon(), interval=1)
+        (delivery,) = phase.inbox(1, 1)
+        return net, phase, delivery
+
+    def test_lazy_matches_eager_verdict(self):
+        assert caching_enabled()
+        net, _, lazy = self._one_frame()
+        assert lazy._verified is None  # genuinely deferred
+        with disabled():
+            _, _, eager = self._one_frame()
+            assert eager._verified is not None  # eagerly sealed
+            assert lazy.verified == eager.verified is True
+
+    def test_revocation_between_send_and_read_does_not_flip_verdict(self):
+        # Eager reference: verification happened at transmit, so a key
+        # revoked *after* the frame is on the air does not unverify it.
+        with disabled():
+            net, phase, eager = self._one_frame()
+            net.registry.revoke_key(eager.key_index)
+            reference_verdict = eager.verified
+        assert reference_verdict is True
+        # Lazy path must agree even though it reads after the revocation.
+        net, phase, lazy = self._one_frame()
+        assert lazy._verified is None
+        net.registry.revoke_key(lazy.key_index)
+        assert lazy.verified is reference_verdict
+
+    def test_key_revoked_before_send_sealed_unverified_both_paths(self):
+        def run():
+            deployment = build_deployment(
+                config=small_test_config(depth_bound=12),
+                topology=line_topology(10),
+                seed=7,
+            )
+            net = deployment.network
+            key_index = net.edge_key_index(0, 1)
+            net.registry.revoke_key(key_index)
+            phase = net.new_phase("t", 2)
+            phase.begin_interval(1)
+            # Base station pins the now-revoked key explicitly (it holds
+            # every pool key, so possession passes; acceptance must not).
+            assert phase.send(0, [1], beacon(), interval=1, key_index=key_index)
+            (delivery,) = phase.inbox(1, 1)
+            return delivery.verified
+
+        assert run() is False
+        with disabled():
+            assert run() is False
+
+    def test_materialized_mac_still_verifies(self):
+        # Reading edge_mac first forces the HMAC to exist; verified must
+        # then check it for real and agree with the eager path.
+        net, phase, delivery = self._one_frame()
+        assert delivery._verified is None
+        mac = delivery.edge_mac
+        assert isinstance(mac, bytes) and len(mac) > 0
+        assert delivery._verified is None  # materializing did not decide
+        assert delivery.verified is True
+
+    def test_lazy_mac_equals_eager_mac_bytes(self):
+        net, phase, lazy = self._one_frame()
+        with disabled():
+            _, _, eager = self._one_frame()
+            assert lazy.edge_mac == eager.edge_mac  # same bytes either path
+
+
+# ----------------------------------------------------------------------
+# Incremental secure-topology view vs the registry reference path
+# ----------------------------------------------------------------------
+class TestSecureViewEquivalence:
+    def _assert_views_agree(self, net):
+        topology = net.topology
+        for a in topology.node_ids:
+            with disabled():
+                ref_neighbors = net.secure_neighbors(a)
+            assert net.secure_neighbors(a) == ref_neighbors
+            for b in topology.neighbors(a):
+                with disabled():
+                    ref_key = net.edge_key_index(a, b)
+                    ref_usable = net.link_usable(a, b)
+                assert net.edge_key_index(a, b) == ref_key
+                assert net.link_usable(a, b) == ref_usable
+
+    def test_agreement_across_revocation_epochs(self, line_deployment):
+        net = line_deployment.network
+        self._assert_views_agree(net)
+        # Key revocation bumps the epoch; the warm view must resync.
+        key_index = net.edge_key_index(3, 4)
+        net.registry.revoke_key(key_index)
+        self._assert_views_agree(net)
+        # Sensor revocation dumps a whole ring.
+        net.registry.revoke_sensor(7)
+        self._assert_views_agree(net)
+
+    def test_component_agreement_after_sensor_revocation(self, line_deployment):
+        net = line_deployment.network
+        net.registry.revoke_sensor(5)
+        with disabled():
+            reference = net.honest_secure_component()
+        assert net.honest_secure_component() == reference
+        # A revoked mid-line sensor cuts everything behind it off.
+        assert all(node <= 4 for node in reference)
+
+
+# ----------------------------------------------------------------------
+# Engine determinism (satellite: step() fast path + Event slots)
+# ----------------------------------------------------------------------
+class TestEngineDeterminism:
+    def test_same_time_events_fire_in_insertion_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for index in range(50):
+            engine.schedule(1.0, lambda i=index: fired.append(i))
+        engine.run()
+        assert fired == list(range(50))
+
+    def test_interleaved_times_fire_in_time_then_insertion_order(self):
+        engine = SimulationEngine()
+        fired = []
+        plan = [(2.0, "a"), (1.0, "b"), (2.0, "c"), (1.0, "d"), (3.0, "e")]
+        for time, tag in plan:
+            engine.schedule(time, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["b", "d", "a", "c", "e"]
+
+    def test_event_is_slotted(self):
+        event = Event(time=1.0, sequence=0, callback=lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.extra = 1
+
+    def test_time_hooks_fire_before_callbacks(self):
+        engine = SimulationEngine()
+        order = []
+        engine.add_time_hook(lambda t: order.append(("hook", t)))
+        engine.schedule(2.0, lambda: order.append(("event", engine.now)))
+        engine.run()
+        assert order == [("hook", 2.0), ("event", 2.0)]
+
+    def test_hookless_engine_counts_events(self):
+        engine = SimulationEngine()
+        for index in range(10):
+            engine.schedule(float(index), lambda: None)
+        engine.run()
+        assert engine.events_processed == 10
+        assert engine.pending == 0
+
+    def test_schedule_into_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(0.5, lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Cache-stat algebra (satellite: read-after-clear high-water regression)
+# ----------------------------------------------------------------------
+def _snap(size=0, maxsize=100, hits=0, misses=0, evictions=0):
+    return {
+        "size": size,
+        "maxsize": maxsize,
+        "hits": hits,
+        "misses": misses,
+        "evictions": evictions,
+    }
+
+
+class TestCacheStatAlgebra:
+    def test_merge_keeps_high_water_size_across_clear(self):
+        # The "960 hits, size 0" bug: a snapshot taken after
+        # clear_caches() must not erase the size the cache reached.
+        warm = {"c": _snap(size=5, hits=960, misses=40)}
+        post_clear = {"c": _snap(size=0, hits=960, misses=40)}
+        merged = merge_cache_stats(warm, post_clear)
+        assert merged["c"]["size"] == 5
+        assert merged["c"]["hits"] == 960
+
+    def test_merge_takes_latest_cumulative_counters(self):
+        early = {"c": _snap(size=2, hits=10, misses=5)}
+        late = {"c": _snap(size=1, hits=25, misses=9)}
+        merged = merge_cache_stats(early, late)
+        assert merged["c"]["hits"] == 25
+        assert merged["c"]["misses"] == 9
+        assert merged["c"]["size"] == 2  # high-water, not latest
+
+    def test_merge_adds_new_caches(self):
+        merged = merge_cache_stats({"a": _snap(hits=1)}, {"b": _snap(hits=2)})
+        assert set(merged) == {"a", "b"}
+
+    def test_diff_isolates_one_cell_on_a_warm_worker(self):
+        before = {"c": _snap(size=3, hits=100, misses=20)}
+        after = {"c": _snap(size=4, hits=130, misses=21)}
+        delta = diff_cache_stats(before, after)
+        assert delta["c"]["hits"] == 30
+        assert delta["c"]["misses"] == 1
+        assert delta["c"]["size"] == 4  # state, carried from `after`
+
+    def test_diff_clamps_counter_resets_to_zero(self):
+        before = {"c": _snap(hits=50)}
+        after = {"c": _snap(hits=10)}  # process restarted in between
+        assert diff_cache_stats(before, after)["c"]["hits"] == 0
+
+    def test_sum_accumulates_worker_deltas(self):
+        total = {}
+        for delta in (
+            {"c": _snap(size=2, hits=30, misses=3)},
+            {"c": _snap(size=5, hits=10, misses=1)},
+            {"c": _snap(size=1, hits=5, misses=0)},
+        ):
+            total = sum_cache_stats(total, delta)
+        assert total["c"]["hits"] == 45
+        assert total["c"]["misses"] == 4
+        assert total["c"]["size"] == 5  # high-water across cells
+        assert total["c"]["maxsize"] == 100
+
+
+# ----------------------------------------------------------------------
+# The scale bench harness
+# ----------------------------------------------------------------------
+class TestScaleHarness:
+    def test_grid_dims_for_sweep_sizes(self):
+        assert grid_dims(100) == (10, 10)
+        assert grid_dims(1_000) == (25, 40)
+        assert grid_dims(10_000) == (100, 100)
+        assert grid_dims(12) == (3, 4)
+
+    def test_grid_dims_rejects_degenerate_primes(self):
+        with pytest.raises(ReproError):
+            grid_dims(101)
+
+    def test_scale_cells_plan(self):
+        cells = scale_cells(SCALE_SIZES)
+        assert cells[0] == ("grid", 100)  # smallest-first for RSS honesty
+        assert [n for _, n in cells] == sorted(n for _, n in cells)
+        assert ("line", 10_000) not in cells  # capped at LINE_MAX_NODES
+        assert ("grid", 10_000) in cells
+        assert all(n <= LINE_MAX_NODES for kind, n in cells if kind == "line")
+
+    def test_compare_passes_within_threshold(self):
+        base = {"cells": {"grid-100": {"speedup": 6.0, "metrics_equal": True}}}
+        new = {"cells": {"grid-100": {"speedup": 4.0, "metrics_equal": True}}}
+        assert compare_scale_payloads(base, new, threshold=0.5).passed
+
+    def test_compare_flags_speedup_collapse(self):
+        base = {"cells": {"grid-100": {"speedup": 6.0, "metrics_equal": True}}}
+        new = {"cells": {"grid-100": {"speedup": 2.0, "metrics_equal": True}}}
+        report = compare_scale_payloads(base, new, threshold=0.5)
+        assert not report.passed
+        assert report.regressions[0].metric == "speedup"
+
+    def test_compare_flags_missing_cell(self):
+        base = {"cells": {"grid-100": {"speedup": 6.0}}}
+        report = compare_scale_payloads(base, {"cells": {}}, threshold=0.5)
+        assert not report.passed
+        assert "scale:grid-100" in report.missing_groups
+
+    def test_compare_flags_broken_bit_identity(self):
+        base = {"cells": {"grid-100": {"speedup": 6.0, "metrics_equal": True}}}
+        new = {"cells": {"grid-100": {"speedup": 6.0, "metrics_equal": False}}}
+        report = compare_scale_payloads(base, new, threshold=0.5)
+        assert not report.passed
+        assert report.regressions[0].metric == "metrics_equal"
+
+    def test_compare_never_gates_raw_wall_times(self):
+        base = {"cells": {"grid-100": {"speedup": 6.0, "opt_s": 0.1, "metrics_equal": True}}}
+        new = {"cells": {"grid-100": {"speedup": 6.0, "opt_s": 99.0, "metrics_equal": True}}}
+        assert compare_scale_payloads(base, new, threshold=0.5).passed
+
+    def test_reference_max_below_10k(self):
+        # The 10k cells must never be asked for a reference leg.
+        assert REFERENCE_MAX_NODES < 10_000
+
+
+class TestScaleBitIdentity:
+    def test_reference_equality_small_grid(self):
+        clear_caches()
+        result = reference_equality("grid", 16, executions=1, seed=11)
+        assert result["metrics_equal"] == 1.0
+        assert result["frames"] > 0
+        assert result["intervals"] > 0
