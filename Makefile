@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-scale report examples figures all clean
+.PHONY: install test bench bench-scale report examples figures service-smoke all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,22 @@ bench-scale:
 
 report:
 	$(PYTHON) -m repro report
+
+# 25-node loopback service deployment (docs/SERVICE.md), gated on
+# bit-for-bit equivalence with the in-process simulator.  Two cells:
+# a query under a crash + link-down fault plan, and a query plus a
+# full revocation cascade under a spurious-veto attacker (theta=6 so
+# the cascade converges in seconds).  The cells are disjoint because
+# fault injection puts pinpointing in benign mode (no revocations).
+service-smoke:
+	$(PYTHON) -c "from repro.faults.plan import FaultPlan, LinkDown, NodeCrash; \
+	print(FaultPlan(name='svc-smoke', events=(NodeCrash(start=3, end=9, node=7), \
+	LinkDown(start=5, end=14, a=2, b=3))).to_json())" > .service-smoke-plan.json
+	$(PYTHON) -m repro service run --nodes 25 --processes 2 --seed 2 \
+		--fault-plan .service-smoke-plan.json --check-equivalence
+	$(PYTHON) -m repro service run --nodes 25 --processes 2 --seed 0 \
+		--compromised 5 --theta 6 --attack spurious-veto --check-equivalence
+	rm -f .service-smoke-plan.json
 
 examples:
 	@for script in examples/*.py; do \

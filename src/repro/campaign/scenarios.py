@@ -286,3 +286,69 @@ def scale_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
     return reference_equality(
         str(params["kind"]), int(params["nodes"]), int(params["executions"]), seed
     )
+
+
+@scenario(
+    "service",
+    description=(
+        "Service-runtime equivalence: the same seeded session over real "
+        "node-host processes vs the in-process simulator, bit-for-bit"
+    ),
+    grid={
+        "nodes": (25,),
+        "processes": (2, 3),
+        "transport": ("sim", "service"),
+        "attack": ("none", "spurious-veto"),
+    },
+    reduced_grid={
+        "nodes": (25,),
+        "processes": (2,),
+        "transport": ("sim", "service"),
+        "attack": ("spurious-veto",),
+    },
+)
+def service_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """One seeded VMAT session driven through the selected transport.
+
+    ``transport="sim"`` runs the session entirely in-process;
+    ``transport="service"`` launches a loopback deployment of asyncio
+    node-host OS processes *and* the in-process control leg, and the
+    bit-for-bit equivalence gate is enforced inside the cell: any
+    divergence in estimate, outcomes, revocation set or protocol-level
+    metrics raises, failing the cell loudly.  ``theta`` is lowered to 6
+    so the attacked cells converge in seconds (the service transport is
+    deterministic, so the threshold only affects session length).
+    """
+    from ..errors import ReproError
+    from ..service import ServiceSpec, run_equivalence, run_sim_session
+
+    attack_name = str(params["attack"])
+    attack = None if attack_name == "none" else attack_name
+    spec = ServiceSpec(
+        num_nodes=int(params["nodes"]),
+        processes=int(params["processes"]),
+        seed=seed,
+        malicious_ids=(5,) if attack else (),
+        theta=6,
+    )
+    if str(params["transport"]) == "service":
+        report = run_equivalence(spec, attack=attack)
+        if not report.matches:
+            raise ReproError(
+                "service/simulator divergence: " + "; ".join(report.diffs)
+            )
+        run = report.service
+        equivalence_checked = 1.0
+    else:
+        run = run_sim_session(spec, attack=attack)
+        equivalence_checked = 0.0
+
+    summary = run.metrics.summary()
+    return {
+        "estimate": float(run.estimate) if run.estimate is not None else -1.0,
+        "executions": float(run.num_executions),
+        "revocations": float(len(run.revocations)),
+        "equivalence_checked": equivalence_checked,
+        "net_total_messages": summary["total_messages"],
+        "net_total_bytes": summary["total_bytes"],
+    }

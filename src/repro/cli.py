@@ -14,6 +14,11 @@
     python -m repro campaign resume|report|compare|validate|list
     python -m repro faults validate|describe PLAN.json
     python -m repro faults example [--profile mixed] [--seed 0]
+    python -m repro service run [--nodes 25] [--processes 2]
+                                [--attack drop] [--fault-plan PLAN.json]
+                                [--check-equivalence]
+    python -m repro service generate [--out deploy] [--nodes 25] ...
+    python -m repro service node --host-index I   (internal; spec via env)
     python -m repro bench [--output BENCH_perf.json] [--profile]
                           [--compare BASELINE.json --threshold 0.5]
     python -m repro bench scale [--sizes 100 1000 10000]
@@ -794,6 +799,183 @@ def _add_faults_parser(sub) -> None:
     p.set_defaults(func=cmd_faults)
 
 
+def _service_spec_from_args(args):
+    from .faults.plan import FaultPlan
+    from .service import ServiceSpec
+
+    if getattr(args, "spec", None):
+        with open(args.spec) as handle:
+            return ServiceSpec.from_json(handle.read())
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        with open(args.fault_plan) as handle:
+            fault_plan = FaultPlan.from_json(handle.read()).to_json()
+    return ServiceSpec(
+        num_nodes=args.nodes,
+        seed=args.seed,
+        processes=args.processes,
+        malicious_ids=tuple(sorted(set(args.compromised or ()))),
+        depth_bound=args.depth_bound,
+        theta=args.theta,
+        tree_variant=args.tree_variant,
+        multipath=args.multipath,
+        fault_plan=fault_plan,
+        fault_seed=args.fault_seed,
+        metrics_dir=args.metrics_dir,
+    )
+
+
+def cmd_service_run(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service import run_equivalence, run_service_session
+
+    if args.check_equivalence and args.external_hosts:
+        print("ERROR  --check-equivalence implies a loopback deployment; "
+              "drop --external-hosts")
+        return 1
+    try:
+        spec = _service_spec_from_args(args)
+        report = None
+        if args.check_equivalence:
+            report = run_equivalence(
+                spec, query_name=args.query, attack=args.attack,
+                max_executions=args.max_executions,
+            )
+            result = report.service
+        else:
+            result = run_service_session(
+                spec, query_name=args.query, attack=args.attack,
+                max_executions=args.max_executions,
+                external_hosts=args.external_hosts,
+            )
+    except ReproError as exc:
+        print(f"SERVICE RUN FAILED  {exc}")
+        return 1
+
+    print(f"\n=== service run: {spec.num_nodes} nodes over "
+          f"{spec.processes} host process(es) ===")
+    print(f"query: {args.query}   attack: {args.attack or 'none'}   "
+          f"faults: {'yes' if spec.fault_plan else 'no'}")
+    print(f"estimate: {result.estimate}")
+    print(f"executions: {result.num_executions}  "
+          f"(outcomes: {', '.join(result.outcomes)})")
+    if result.revocations:
+        revs = ", ".join(f"{kind}:{target}" for kind, target, _ in result.revocations)
+        print(f"revocations: {revs}")
+    else:
+        print("revocations: none")
+    print(f"wire: {result.metrics.wire_bytes} bytes / "
+          f"{result.metrics.wire_frames} records")
+    if result.latency:
+        _print_table(
+            "wall-clock latency (seconds)",
+            ["phase", "samples", "p50", "p95", "p99"],
+            [
+                [label, len(result.metrics.wall_clock[label]),
+                 pcts["p50"], pcts["p95"], pcts["p99"]]
+                for label, pcts in sorted(result.latency.items())
+            ],
+        )
+    if report is not None:
+        if report.matches:
+            print("\nequivalence vs in-process simulator: MATCH")
+        else:
+            print("\nequivalence vs in-process simulator: MISMATCH")
+            for diff in report.diffs:
+                print(f"  - {diff}")
+            return 1
+    return 0
+
+
+def cmd_service_generate(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service import generate_deployment
+
+    try:
+        spec = _service_spec_from_args(args)
+        written = generate_deployment(spec, args.out)
+    except ReproError as exc:
+        print(f"SERVICE GENERATE FAILED  {exc}")
+        return 1
+    for path, description in written.items():
+        print(f"wrote {path}  ({description})")
+    return 0
+
+
+def cmd_service_node(args: argparse.Namespace) -> int:
+    from .errors import ReproError
+    from .service import ServiceSpec, run_node_host
+
+    try:
+        spec = ServiceSpec.from_env()
+        return run_node_host(spec, args.host_index)
+    except ReproError as exc:
+        print(f"SERVICE NODE FAILED  {exc}", file=sys.stderr)
+        return 1
+
+
+def _add_service_parser(sub) -> None:
+    service = sub.add_parser(
+        "service",
+        help="node processes over asyncio TCP (docs/SERVICE.md)",
+    )
+    ssub = service.add_subparsers(dest="service_command", required=True)
+
+    def spec_args(p):
+        p.add_argument("--spec", type=str, default=None,
+                       help="ServiceSpec JSON file (overrides the flags below)")
+        p.add_argument("--nodes", type=int, default=25,
+                       help="total node count including the base station")
+        p.add_argument("--processes", type=int, default=2,
+                       help="node-host OS processes sharing the sensors")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--compromised", type=int, nargs="+", default=[],
+                       help="malicious sensor ids (coordinator-side)")
+        p.add_argument("--depth-bound", type=int, default=6)
+        p.add_argument("--theta", type=int, default=None,
+                       help="revocation threshold override")
+        p.add_argument("--tree-variant", choices=["timestamp", "hopcount"],
+                       default="timestamp")
+        p.add_argument("--multipath", action="store_true")
+        p.add_argument("--fault-plan", type=str, default=None,
+                       help="FaultPlan JSON file (service-replayable kinds only)")
+        p.add_argument("--fault-seed", type=int, default=0)
+        p.add_argument("--metrics-dir", type=str, default=None,
+                       help="hosts flush metrics JSON here on shutdown/SIGTERM")
+
+    p = ssub.add_parser(
+        "run", help="launch a loopback deployment and run one query session"
+    )
+    spec_args(p)
+    p.add_argument("--query", choices=["min", "max"], default="min")
+    p.add_argument("--attack",
+                   choices=["drop", "hide", "junk", "spurious-veto"],
+                   default=None)
+    p.add_argument("--max-executions", type=int, default=50)
+    p.add_argument("--check-equivalence", action="store_true",
+                   help="also run the in-process simulator leg and gate on "
+                        "bit-identical protocol outcomes")
+    p.add_argument("--external-hosts", action="store_true",
+                   help="accept externally-started hosts (compose) instead "
+                        "of spawning children")
+    p.set_defaults(func=cmd_service_run)
+
+    p = ssub.add_parser(
+        "generate", help="emit docker-compose / Procfile deployment artifacts"
+    )
+    spec_args(p)
+    p.add_argument("--out", type=str, default="deploy",
+                   help="output directory (default deploy/)")
+    p.set_defaults(func=cmd_service_generate)
+
+    p = ssub.add_parser(
+        "node",
+        help="run one node host (internal; spec from REPRO_SERVICE_SPEC)",
+    )
+    p.add_argument("--host-index", type=int, required=True)
+    p.set_defaults(func=cmd_service_node)
+
+
 def _add_campaign_parser(sub) -> None:
     campaign = sub.add_parser("campaign", help="parallel experiment campaigns")
     csub = campaign.add_subparsers(dest="campaign_command", required=True)
@@ -964,6 +1146,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_campaign_parser(sub)
     _add_faults_parser(sub)
+    _add_service_parser(sub)
     _add_bench_parser(sub)
     _add_invariants_parser(sub)
     _add_fuzz_parser(sub)

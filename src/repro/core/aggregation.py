@@ -105,6 +105,15 @@ def run_aggregation(
 
     bs_deliveries: List[Delivery] = []
 
+    # Service seam: honest transmit/collect runs on node hosts when a
+    # driver is attached (repro.service); the base station and the
+    # adversary stay on the coordinator either way.
+    driver = network.honest_driver
+    if driver is not None:
+        driver.phase_begin(
+            "aggregation", phase, nonce=nonce, num_instances=num_instances
+        )
+
     for k in phase.intervals():
         # Malicious sensors act first within the interval so injected
         # frames land in the same slot honest listeners are reading.
@@ -112,19 +121,27 @@ def run_aggregation(
             for node_id in sorted(network.malicious_ids):
                 adversary.agg_interval(ctx, node_id, k)
 
-        # Honest sensors whose slot this is: transmit to parents.
-        for node_id in sorted(send_slot.get(k, ())):
-            _honest_transmit(network, phase, node_id, best[node_id], k)
+        if driver is not None:
+            driver.tick(k)
+            driver.deliver(k)
+        else:
+            # Honest sensors whose slot this is: transmit to parents.
+            for node_id in sorted(send_slot.get(k, ())):
+                _honest_transmit(network, phase, node_id, best[node_id], k)
 
-        # Honest sensors listening this interval: fold verified receipts.
-        # A sensor at level i listens in interval L - i (grouped above).
-        for node_id in listen_slot.get(k, ()):
-            node = network.nodes[node_id]
-            _honest_collect(network, phase, node, best[node_id], k, num_instances)
+            # Honest sensors listening this interval: fold verified
+            # receipts.  A sensor at level i listens in interval L - i
+            # (grouped above).
+            for node_id in listen_slot.get(k, ()):
+                node = network.nodes[node_id]
+                _honest_collect(network, phase, node, best[node_id], k, num_instances)
 
         # Base station listens in interval L.
         if k == L:
             bs_deliveries = phase.verified_inbox(BASE_STATION_ID, L)
+
+    if driver is not None:
+        driver.phase_end()
 
     network.metrics.record_flooding_rounds(1.0, "aggregation-phase")
     return _base_station_decide(bs_deliveries, nonce, num_instances, verify_minimum)

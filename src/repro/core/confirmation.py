@@ -79,13 +79,19 @@ def run_confirmation(
     # Vetoes scheduled for transmission in the coming interval.
     pending: Dict[int, VetoMessage] = {}
     vetoers: List[int] = []
-    for node_id in honest_ids:
-        node = network.nodes[node_id]
-        veto = _make_veto(node, minima, nonce, L)
-        if veto is not None:
-            pending[node_id] = veto
-            vetoers.append(node_id)
-            node.forwarded_veto = True  # vetoers ignore all incoming vetoes
+    # Service seam: node hosts compute initial vetoes, transmit and adopt
+    # for their hosted sensors when a driver is attached (repro.service).
+    driver = network.honest_driver
+    if driver is not None:
+        driver.phase_begin("confirmation", phase, nonce=nonce, minima=minima)
+    else:
+        for node_id in honest_ids:
+            node = network.nodes[node_id]
+            veto = _make_veto(node, minima, nonce, L)
+            if veto is not None:
+                pending[node_id] = veto
+                vetoers.append(node_id)
+                node.forwarded_veto = True  # vetoers ignore all incoming vetoes
 
     bs_arrivals: List[Tuple[Delivery, int]] = []
 
@@ -94,44 +100,41 @@ def run_confirmation(
             for node_id in sorted(network.malicious_ids):
                 adversary.conf_interval(ctx, node_id, k)
 
-        # Transmit everything scheduled for this interval.
-        for node_id, veto in sorted(pending.items()):
-            _transmit_veto(network, phase, node_id, veto, k)
-        pending.clear()
+        if driver is not None:
+            driver.tick(k)
+            driver.deliver(k)
+        else:
+            # Transmit everything scheduled for this interval.
+            for node_id, veto in sorted(pending.items()):
+                _transmit_veto(network, phase, node_id, veto, k)
+            pending.clear()
 
-        # Non-vetoers adopt the first verified veto they received.
-        # Iterating the (typically sparse) arrival map instead of every
-        # honest sensor is pure loop-skipping: ``honest_ids`` ascends, so
-        # ``sorted(arrived)`` filtered to honest sensors processes the
-        # reference's nodes in the reference's order, which keeps the
-        # ``pending`` schedule — and next interval's send order — intact.
-        if k < L:  # a forward scheduled for interval L+1 could never land
-            arrived = phase.arrival_map(k)
-            for node_id in sorted(arrived) if arrived else ():
-                if node_id not in honest_set:
-                    continue
-                node = network.nodes[node_id]
-                if node.forwarded_veto:
-                    continue
-                adopted = _first_verified_veto(phase, node_id, k)
-                if adopted is None:
-                    continue
-                veto, delivery = adopted
-                node.forwarded_veto = True
-                node.audit.conf_receipts.append(
-                    ConfReceiptRecord(
-                        interval=k,
-                        message=veto,
-                        in_edge_index=delivery.key_index,
-                        frm=delivery.sender,
-                    )
-                )
-                pending[node_id] = veto
+            # Non-vetoers adopt the first verified veto they received.
+            # Iterating the (typically sparse) arrival map instead of
+            # every honest sensor is pure loop-skipping: ``honest_ids``
+            # ascends, so ``sorted(arrived)`` filtered to honest sensors
+            # processes the reference's nodes in the reference's order,
+            # which keeps the ``pending`` schedule — and next interval's
+            # send order — intact.
+            if k < L:  # a forward scheduled for interval L+1 could never land
+                arrived = phase.arrival_map(k)
+                for node_id in sorted(arrived) if arrived else ():
+                    if node_id not in honest_set:
+                        continue
+                    node = network.nodes[node_id]
+                    if node.forwarded_veto:
+                        continue
+                    adopted = _adopt_first_veto(network, phase, node, k)
+                    if adopted is not None:
+                        pending[node_id] = adopted
 
         # Base station collects arrivals.
         for delivery in phase.verified_inbox(BASE_STATION_ID, k):
             if isinstance(delivery.payload, VetoMessage):
                 bs_arrivals.append((delivery, k))
+
+    if driver is not None:
+        driver.phase_end()
 
     network.metrics.record_flooding_rounds(1.0, "confirmation-phase")
     return _base_station_classify(network, minima, nonce, bs_arrivals, L)
@@ -195,6 +198,30 @@ def _first_verified_veto(phase, node_id, interval):
         if isinstance(delivery.payload, VetoMessage):
             return delivery.payload, delivery
     return None
+
+
+def _adopt_first_veto(network, phase, node, interval) -> Optional[VetoMessage]:
+    """One-time forwarding rule for a non-vetoer: adopt the first
+    verified veto received in ``interval``, record the SOF receipt, and
+    return the veto to schedule (``None`` when nothing verified arrived).
+
+    Shared between the inline simulator loop above and the service node
+    hosts (repro.service.node), which run it over their replica state.
+    """
+    adopted = _first_verified_veto(phase, node.node_id, interval)
+    if adopted is None:
+        return None
+    veto, delivery = adopted
+    node.forwarded_veto = True
+    node.audit.conf_receipts.append(
+        ConfReceiptRecord(
+            interval=interval,
+            message=veto,
+            in_edge_index=delivery.key_index,
+            frm=delivery.sender,
+        )
+    )
+    return veto
 
 
 def _base_station_classify(

@@ -200,6 +200,45 @@ Predicate = Union[
 ]
 
 
+def decode_predicate(data: bytes) -> Predicate:
+    """Invert :meth:`encode` for every predicate type.
+
+    The wire carries predicates as their canonical encodings (what the
+    challenge flood announces); service node hosts reconstruct them here
+    to evaluate against their local audit stores.
+    """
+    from ..crypto.encoding import decode_parts
+
+    parts = decode_parts(data)
+    if not parts or not isinstance(parts[0], str):
+        raise ProtocolError(f"predicate encoding without a tag: {parts!r}")
+    tag, fields = parts[0], parts[1:]
+    try:
+        if tag == "agg-forwarded":
+            level, value_bound, key_low, key_high, instance = fields
+            return AggForwarded(level, value_bound, key_low, key_high, instance)
+        if tag == "agg-received":
+            id_low, id_high, value_bound, child_level, key_index, instance = fields
+            return AggReceived(
+                id_low, id_high, value_bound, child_level, key_index, instance
+            )
+        if tag == "agg-sent-exact":
+            id_low, id_high, digest, level, key_index = fields
+            return AggSentExact(id_low, id_high, digest, level, key_index)
+        if tag == "agg-received-exact":
+            digest, interval, key_low, key_high = fields
+            return AggReceivedExact(digest, interval, key_low, key_high)
+        if tag == "conf-sent-exact":
+            id_low, id_high, digest, interval, key_index = fields
+            return ConfSentExact(id_low, id_high, digest, interval, key_index)
+        if tag == "conf-received-exact":
+            digest, interval, key_low, key_high = fields
+            return ConfReceivedExact(digest, interval, key_low, key_high)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed {tag!r} predicate: {parts!r}") from exc
+    raise ProtocolError(f"unknown predicate tag {tag!r}")
+
+
 # ----------------------------------------------------------------------
 # Protocol runner
 # ----------------------------------------------------------------------
@@ -258,12 +297,26 @@ def run_keyed_predicate_test(
     honest_ids = [i for i in network.nodes if i not in revoked]
     # Honest holders that satisfy the predicate originate the reply.
     pending: dict[int, PredicateReply] = {}
-    for holder in holder_ids:
-        node = network.nodes.get(holder)
-        if node is None or holder in revoked:
-            continue
-        if predicate.evaluate(node, depth_bound):
-            pending[holder] = PredicateReply(mac=reply_mac_for(node_key(network, key_ref, node), nonce))
+    # Service seam: honest holders evaluate their *local* audit stores on
+    # their node hosts when a driver is attached (repro.service) — the
+    # distributed-audit property the pinpointing protocols rely on.
+    driver = network.honest_driver
+    if driver is not None:
+        driver.phase_begin(
+            "predicate-reply",
+            phase,
+            key_ref=key_ref,
+            predicate_bytes=predicate_bytes,
+            nonce=nonce,
+            reply_hash=reply_hash,
+        )
+    else:
+        for holder in holder_ids:
+            node = network.nodes.get(holder)
+            if node is None or holder in revoked:
+                continue
+            if predicate.evaluate(node, depth_bound):
+                pending[holder] = PredicateReply(mac=reply_mac_for(node_key(network, key_ref, node), nonce))
 
     relayed = set(pending)
     success = False
@@ -273,29 +326,36 @@ def run_keyed_predicate_test(
             for node_id in sorted(network.malicious_ids):
                 adversary.predtest_interval(ctx, node_id, k)
 
-        for node_id, reply in sorted(pending.items()):
-            neighbors = network.secure_neighbors(node_id)
-            if neighbors:
-                phase.send(node_id, neighbors, reply, interval=k)
-        pending.clear()
+        if driver is not None:
+            driver.tick(k)
+            driver.deliver(k)
+        else:
+            for node_id, reply in sorted(pending.items()):
+                neighbors = network.secure_neighbors(node_id)
+                if neighbors:
+                    phase.send(node_id, neighbors, reply, interval=k)
+            pending.clear()
 
-        # Relays: the hash check is the *only* gate — the reply is
-        # content-authenticated, so even a frame with an unverifiable
-        # edge MAC is relayed if its body hashes correctly.
-        for node_id in honest_ids:
-            if node_id in relayed:
-                continue
-            for delivery in phase.inbox(node_id, k):
-                payload = delivery.payload
-                if isinstance(payload, PredicateReply) and oneway_hash(payload.mac) == reply_hash:
-                    relayed.add(node_id)
-                    pending[node_id] = payload
-                    break
+            # Relays: the hash check is the *only* gate — the reply is
+            # content-authenticated, so even a frame with an unverifiable
+            # edge MAC is relayed if its body hashes correctly.
+            for node_id in honest_ids:
+                if node_id in relayed:
+                    continue
+                for delivery in phase.inbox(node_id, k):
+                    payload = delivery.payload
+                    if isinstance(payload, PredicateReply) and oneway_hash(payload.mac) == reply_hash:
+                        relayed.add(node_id)
+                        pending[node_id] = payload
+                        break
 
         for delivery in phase.inbox(BASE_STATION_ID, k):
             payload = delivery.payload
             if isinstance(payload, PredicateReply) and oneway_hash(payload.mac) == reply_hash:
                 success = True
+
+    if driver is not None:
+        driver.phase_end()
 
     network.metrics.record_flooding_rounds(1.0, "predicate-reply-flood")
     network.metrics.predicate_tests += 1

@@ -39,6 +39,35 @@ from .synopses import verify_synopsis
 from .tree import TreeFormationResult, form_tree
 
 
+def sign_instance_values(
+    registry, sensor_id: int, values: Sequence[float], nonce: bytes
+) -> List[ReadingMessage]:
+    """A sensor's per-instance messages, MAC'd under its sensor key.
+
+    Module-level so service node hosts (repro.service.node) install the
+    byte-identical state on their replicas that the coordinator computes.
+    """
+    key = registry.sensor_key(sensor_id)
+    # The MAC'd tuple is (sensor_id, instance, value, nonce); only the
+    # middle two fields vary across the m instances, so encode the
+    # static prefix/suffix once.  Canonical encodings concatenate, so
+    # the stitched message is byte-identical to
+    # encode_parts(sensor_id, instance, value, nonce).
+    prefix = encode_parts(sensor_id)
+    suffix = encode_parts(nonce)
+    return [
+        ReadingMessage(
+            sensor_id=sensor_id,
+            value=value,
+            mac=compute_mac_message(
+                key, prefix + encode_parts(instance, value) + suffix
+            ),
+            instance=instance,
+        )
+        for instance, value in enumerate(values)
+    ]
+
+
 class ExecutionOutcome(enum.Enum):
     """Terminal state of one Figure-1 execution.
 
@@ -166,6 +195,13 @@ class VMATProtocol:
         # execution and a node that misses it must stay suspected.
         for node in network.nodes.values():
             node.crash_suspected = False
+        # Service seam (repro.service): node hosts mirror the execution
+        # boundary — they reset crash flags now, and install the same
+        # per-execution state on their replicas right after the query
+        # flood reaches them (the broadcast hook fires in between).
+        driver = network.honest_driver
+        if driver is not None:
+            driver.execution_starting()
 
         # Fresh query nonce, announced with the query (Section IV-B).
         nonce = self.nonces.next()
@@ -181,6 +217,8 @@ class VMATProtocol:
             values = query.instance_values(node_id, node.reading, nonce)
             node.query_values = values
             own_messages[node_id] = self._sign_values(node_id, values, nonce)
+        if driver is not None:
+            driver.begin_execution(readings, query.name, query.num_instances, nonce)
 
         # ... and hand the adversary its loot-side state.
         if self.adversary is not None:
@@ -381,25 +419,7 @@ class VMATProtocol:
     def _sign_values(
         self, sensor_id: int, values: Sequence[float], nonce: bytes
     ) -> List[ReadingMessage]:
-        key = self.network.registry.sensor_key(sensor_id)
-        # The MAC'd tuple is (sensor_id, instance, value, nonce); only the
-        # middle two fields vary across the m instances, so encode the
-        # static prefix/suffix once.  Canonical encodings concatenate, so
-        # the stitched message is byte-identical to
-        # encode_parts(sensor_id, instance, value, nonce).
-        prefix = encode_parts(sensor_id)
-        suffix = encode_parts(nonce)
-        return [
-            ReadingMessage(
-                sensor_id=sensor_id,
-                value=value,
-                mac=compute_mac_message(
-                    key, prefix + encode_parts(instance, value) + suffix
-                ),
-                instance=instance,
-            )
-            for instance, value in enumerate(values)
-        ]
+        return sign_instance_values(self.network.registry, sensor_id, values, nonce)
 
     def _verify_minimum(self, query, nonce: bytes, instance: int, message: ReadingMessage) -> bool:
         """Base-station check on a candidate minimum (Figure 1, step 4):

@@ -87,6 +87,14 @@ def form_tree(
     # (node_id -> beacon to forward next interval)
     pending_forward: Dict[int, TreeBeacon] = {}
 
+    # Service seam: with a driver attached (repro.service), the honest
+    # per-interval work runs on node-host processes holding deterministic
+    # replicas; the coordinator keeps the base-station and adversary
+    # sides.  Driverless runs take the exact inline paths below.
+    driver = network.honest_driver
+    if driver is not None:
+        driver.phase_begin("tree", phase, depth_bound=depth_bound, variant=variant)
+
     for k in phase.intervals():
         # 1. Base station seeds the flood in interval 1.
         if k == 1:
@@ -99,10 +107,13 @@ def form_tree(
             )
 
         # 2. Honest sensors scheduled last interval forward now.
-        for node_id, beacon in list(pending_forward.items()):
-            neighbors = network.secure_neighbors(node_id)
-            phase.send(node_id, neighbors, beacon, interval=k)
-            del pending_forward[node_id]
+        if driver is not None:
+            driver.tick(k)
+        else:
+            for node_id, beacon in list(pending_forward.items()):
+                neighbors = network.secure_neighbors(node_id)
+                phase.send(node_id, neighbors, beacon, interval=k)
+                del pending_forward[node_id]
 
         # 3. Malicious sensors act (inject, tunnel, replay, stay silent).
         if adversary is not None:
@@ -116,19 +127,25 @@ def form_tree(
         # processes exactly the reference's nodes in the reference's
         # order — which also keeps ``pending_forward`` insertion order,
         # and hence next interval's send order, bit-identical.
-        arrived = phase.arrival_map(k)
-        for node_id in sorted(arrived) if arrived else ():
-            if node_id not in honest_set:
-                continue
-            node = network.nodes[node_id]
-            arrivals = phase.verified_inbox(node_id, k)
-            beacons = [d for d in arrivals if isinstance(d.payload, TreeBeacon)]
-            if not beacons:
-                continue
-            if variant == "timestamp":
-                _accept_timestamp(node, beacons, k, depth_bound, multipath, pending_forward)
-            else:
-                _accept_hopcount(node, beacons, depth_bound, multipath, pending_forward)
+        if driver is not None:
+            driver.deliver(k)
+        else:
+            arrived = phase.arrival_map(k)
+            for node_id in sorted(arrived) if arrived else ():
+                if node_id not in honest_set:
+                    continue
+                node = network.nodes[node_id]
+                arrivals = phase.verified_inbox(node_id, k)
+                beacons = [d for d in arrivals if isinstance(d.payload, TreeBeacon)]
+                if not beacons:
+                    continue
+                if variant == "timestamp":
+                    _accept_timestamp(node, beacons, k, depth_bound, multipath, pending_forward)
+                else:
+                    _accept_hopcount(node, beacons, depth_bound, multipath, pending_forward)
+
+    if driver is not None:
+        driver.phase_end()
 
     for node_id in honest_ids:
         node = network.nodes[node_id]

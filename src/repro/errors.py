@@ -70,3 +70,8 @@ class PinpointError(ProtocolError):
 
 class SimulationError(ReproError):
     """The discrete-event engine was driven incorrectly."""
+
+
+class ServiceError(ReproError):
+    """The service runtime failed: a node-host process died, timed out,
+    reported an error, or a wire frame failed its canonical-bytes check."""

@@ -100,23 +100,30 @@ class FaultInjector:
         network = self.network
         if network is None:
             return
+        # Replica networks (service node hosts) apply every fault's
+        # *state* effects — crash flags, drift, blocked links — but the
+        # coordinator already does the global accounting for the same
+        # plan on the same clock, so replicas skip the metric writes.
+        replica = network.service_replica
         metrics = network.metrics
 
         down_honest = [n for n in network.nodes if self.node_down(n)]
         if down_honest:
-            metrics.record_crash_intervals(len(down_honest))
+            if not replica:
+                metrics.record_crash_intervals(len(down_honest))
             for node_id in down_honest:
                 # A crashed sensor knows (watchdog reboot, radio gap)
                 # that it missed traffic: it must abstain from vetoing
                 # on a view it cannot trust.
                 network.nodes[node_id].crash_suspected = True
-        if any(
+        if not replica and any(
             isinstance(e, Partition) and e.active(self.now) for e in self.plan.events
         ):
             metrics.record_partition_intervals(1)
 
         self._apply_clock_drift(network)
-        self._record_activations(network, phase_name)
+        if not replica:
+            self._record_activations(network, phase_name)
 
     def _apply_clock_drift(self, network: "Network") -> None:
         drift_by_node: Dict[int, float] = {}
@@ -212,6 +219,8 @@ class FaultInjector:
         if network is None or round_index in self._announced_broadcasts:
             return
         self._announced_broadcasts.add(round_index)
+        if network.service_replica:
+            return  # accounting happens once, on the coordinator
         for event in self.plan.events:
             if isinstance(event, (BroadcastLoss, BroadcastDelay)):
                 if event.round == round_index:

@@ -45,6 +45,16 @@ class Metrics:
     faults_injected: Counter = field(default_factory=Counter)
     crash_intervals: int = 0
     partition_intervals: int = 0
+    # Service-runtime accounting (repro.service).  ``wall_clock`` holds
+    # raw latency samples in seconds, keyed by label (one sample per
+    # interval barrier per phase, plus one per execution) — percentiles
+    # are derived at read time so merge stays a lossless concatenation.
+    # ``wire_bytes``/``wire_frames`` count real bytes/records on the
+    # inter-process TCP streams (framing + control overhead included),
+    # as opposed to the modelled radio bytes in ``bytes_sent``.
+    wall_clock: Dict[str, List[float]] = field(default_factory=dict)
+    wire_bytes: int = 0
+    wire_frames: int = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -93,6 +103,15 @@ class Metrics:
     def record_partition_intervals(self, intervals: int) -> None:
         self.partition_intervals += intervals
 
+    def record_wall_clock(self, label: str, seconds: float) -> None:
+        """One wall-clock latency sample for ``label`` (service runtime)."""
+        self.wall_clock.setdefault(label, []).append(float(seconds))
+
+    def record_wire(self, num_bytes: int, frames: int = 1) -> None:
+        """Bytes/records actually moved over an inter-process stream."""
+        self.wire_bytes += num_bytes
+        self.wire_frames += frames
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -109,6 +128,23 @@ class Metrics:
     def total_messages(self) -> int:
         return sum(self.messages_sent.values())
 
+    def latency_percentiles(self) -> Dict[str, Dict[str, float]]:
+        """Per-label p50/p95/p99 over the wall-clock samples (seconds).
+
+        Nearest-rank percentiles: deterministic, no interpolation, and
+        well-defined for a single sample (every percentile is it).
+        """
+        return {
+            label: {
+                "p50": percentile(samples, 50.0),
+                "p95": percentile(samples, 95.0),
+                "p99": percentile(samples, 99.0),
+                "count": float(len(samples)),
+            }
+            for label, samples in sorted(self.wall_clock.items())
+            if samples
+        }
+
     def merge(self, other: "Metrics") -> None:
         """Fold another execution's numbers into this accumulator."""
         self.bytes_sent.update(other.bytes_sent)
@@ -124,6 +160,13 @@ class Metrics:
         self.faults_injected.update(other.faults_injected)
         self.crash_intervals += other.crash_intervals
         self.partition_intervals += other.partition_intervals
+        # Latency merge algebra is sample concatenation: percentiles of
+        # the union are then derivable from the merged accumulator, which
+        # a merge of precomputed percentiles would not be.
+        for label, samples in other.wall_clock.items():
+            self.wall_clock.setdefault(label, []).extend(samples)
+        self.wire_bytes += other.wire_bytes
+        self.wire_frames += other.wire_frames
 
     # ------------------------------------------------------------------
     # Serialization (lossless, JSON-ready)
@@ -133,8 +176,12 @@ class Metrics:
 
         Counter keys (node ids) become strings because JSON objects only
         key on strings; ``from_dict`` restores them to ``int``.
+
+        Service-only fields (``wall_clock``, ``wire_bytes``,
+        ``wire_frames``) are emitted only when non-empty, so snapshots of
+        simulator runs are byte-identical to what they always were.
         """
-        return {
+        data: Dict[str, object] = {
             "bytes_sent": {str(k): v for k, v in self.bytes_sent.items()},
             "bytes_received": {str(k): v for k, v in self.bytes_received.items()},
             "messages_sent": {str(k): v for k, v in self.messages_sent.items()},
@@ -149,6 +196,14 @@ class Metrics:
             "crash_intervals": self.crash_intervals,
             "partition_intervals": self.partition_intervals,
         }
+        if self.wall_clock:
+            data["wall_clock"] = {
+                label: list(samples) for label, samples in sorted(self.wall_clock.items())
+            }
+        if self.wire_bytes or self.wire_frames:
+            data["wire_bytes"] = self.wire_bytes
+            data["wire_frames"] = self.wire_frames
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Metrics":
@@ -173,10 +228,16 @@ class Metrics:
             ),
             crash_intervals=int(data.get("crash_intervals", 0)),
             partition_intervals=int(data.get("partition_intervals", 0)),
+            wall_clock={
+                str(label): [float(s) for s in samples]
+                for label, samples in data.get("wall_clock", {}).items()
+            },
+            wire_bytes=int(data.get("wire_bytes", 0)),
+            wire_frames=int(data.get("wire_frames", 0)),
         )
 
     def summary(self) -> Dict[str, float]:
-        return {
+        result = {
             "total_bytes": float(self.total_bytes()),
             "total_messages": float(self.total_messages()),
             "flooding_rounds": self.flooding_rounds,
@@ -188,3 +249,21 @@ class Metrics:
             "crash_intervals": float(self.crash_intervals),
             "partition_intervals": float(self.partition_intervals),
         }
+        # Latency keys appear only for service runs, keeping simulator
+        # summaries (and everything keyed off them) exactly as before.
+        for label, stats in self.latency_percentiles().items():
+            for name in ("p50", "p95", "p99"):
+                result[f"latency_{label}_{name}"] = stats[name]
+        if self.wire_bytes or self.wire_frames:
+            result["wire_bytes"] = float(self.wire_bytes)
+            result["wire_frames"] = float(self.wire_frames)
+        return result
+
+
+def percentile(samples: List[float], pct: float) -> float:
+    """Nearest-rank percentile (ceil(p/100 * n)-th smallest sample)."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    ordered = sorted(samples)
+    rank = max(1, -(-int(pct * len(ordered)) // 100))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]

@@ -1,0 +1,195 @@
+"""Stream framing for the service transport (docs/SERVICE.md).
+
+The simulator hands :class:`~repro.net.network.Delivery` objects between
+nodes in-process; the service runtime ships the same frames between OS
+processes over TCP.  Two layers live here:
+
+* **Stream framing** — length-prefixed records over a byte stream.  TCP
+  is a byte pipe: one ``send`` may arrive split across many reads, and
+  many sends may coalesce into one read.  :class:`StreamDecoder` is an
+  incremental decoder that owns exactly that problem — feed it whatever
+  the socket produced and it yields complete records, raising
+  :class:`NeedMoreData` (or simply yielding nothing) while a record is
+  still partial.
+* **Payload codec** — the protocol payloads of :mod:`repro.net.message`
+  already define injective ``canonical_bytes`` encodings (the bytes the
+  edge MACs cover).  ``decode_payload`` inverts them, so the wire
+  carries the *existing* byte-level encodings rather than a parallel
+  serialization that could drift from what is MAC'd.
+
+Every record body is an ``encode_parts`` tuple (see
+:mod:`repro.crypto.encoding`), which keeps the whole wire protocol on
+one injective, versionable codec.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Tuple
+
+from ..crypto.encoding import decode_parts, encode_parts
+from ..errors import ReproError
+from .message import (
+    Payload,
+    PredicateChallenge,
+    PredicateReply,
+    ReadingMessage,
+    SynopsisBundle,
+    TreeBeacon,
+    VetoMessage,
+)
+
+#: 4-byte big-endian unsigned record length; large enough for any bundle
+#: (a 100-synopsis bundle is ~2.5 KB) with room for campaign-scale specs.
+LENGTH_PREFIX = struct.Struct(">I")
+
+#: Upper bound on one record, as a guard against a corrupt or hostile
+#: peer declaring a multi-gigabyte record and ballooning the buffer.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+class FramingError(ReproError):
+    """A malformed stream record or an undecodable payload."""
+
+
+class NeedMoreData(Exception):
+    """Raised by :func:`decode_record` when the buffer holds only part of
+    a record.  Not an error: the caller should read more bytes and retry
+    (which is exactly what :class:`StreamDecoder.feed` automates)."""
+
+
+def encode_record(*parts) -> bytes:
+    """One length-prefixed stream record holding an ``encode_parts`` tuple."""
+    body = encode_parts(*parts)
+    if len(body) > MAX_RECORD_BYTES:
+        raise FramingError(f"record of {len(body)} bytes exceeds the stream bound")
+    return LENGTH_PREFIX.pack(len(body)) + body
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> Tuple[Tuple, int]:
+    """Decode one record at ``offset``; returns ``(parts, next_offset)``.
+
+    Raises :class:`NeedMoreData` when the buffer ends mid-record — the
+    partial-read half of the framing contract — and
+    :class:`FramingError` on a corrupt length or body.
+    """
+    header_end = offset + LENGTH_PREFIX.size
+    if len(buffer) < header_end:
+        raise NeedMoreData
+    (length,) = LENGTH_PREFIX.unpack_from(buffer, offset)
+    if length > MAX_RECORD_BYTES:
+        raise FramingError(f"declared record length {length} exceeds the stream bound")
+    body_end = header_end + length
+    if len(buffer) < body_end:
+        raise NeedMoreData
+    try:
+        parts = decode_parts(bytes(buffer[header_end:body_end]))
+    except ReproError as exc:
+        raise FramingError(f"undecodable record body: {exc}") from exc
+    return parts, body_end
+
+
+class StreamDecoder:
+    """Incremental record decoder over an arbitrary chunking of a stream.
+
+    >>> dec = StreamDecoder()
+    >>> data = encode_record("hello", 1) + encode_record("world", 2)
+    >>> [r for chunk in (data[:3], data[3:]) for r in dec.feed(chunk)]
+    [('hello', 1), ('world', 2)]
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._offset = 0
+
+    def feed(self, data: bytes) -> List[Tuple]:
+        """Absorb ``data`` and return every record it completed.
+
+        Handles both halves of the stream contract: partial reads (the
+        tail stays buffered until completed by a later feed) and
+        coalesced reads (one feed may return many records).
+        """
+        self._buffer += data
+        records: List[Tuple] = []
+        while True:
+            try:
+                parts, self._offset = decode_record(self._buffer, self._offset)
+            except NeedMoreData:
+                break
+            records.append(parts)
+        # Drop consumed bytes so long sessions stay O(pending record).
+        if self._offset:
+            del self._buffer[: self._offset]
+            self._offset = 0
+        return records
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward a record that is still incomplete."""
+        return len(self._buffer) - self._offset
+
+
+# ----------------------------------------------------------------------
+# Payload codec: invert the canonical byte encodings of net.message
+# ----------------------------------------------------------------------
+def encode_payload(payload: Payload) -> bytes:
+    """The existing byte-level encoding (what the edge MAC covers)."""
+    return payload.canonical_bytes()
+
+
+def decode_payload(data: bytes) -> Payload:
+    """Invert :meth:`canonical_bytes` for every protocol payload type."""
+    try:
+        parts = decode_parts(data)
+    except ReproError as exc:
+        raise FramingError(f"undecodable payload: {exc}") from exc
+    return _payload_from_parts(parts)
+
+
+def _payload_from_parts(parts: Tuple) -> Payload:
+    if not parts or not isinstance(parts[0], str):
+        raise FramingError(f"payload without a type tag: {parts!r}")
+    tag = parts[0]
+    try:
+        if tag == "reading":
+            _, sensor_id, instance, value, mac = parts
+            return ReadingMessage(
+                sensor_id=sensor_id, value=value, mac=mac, instance=instance
+            )
+        if tag == "veto":
+            _, sensor_id, instance, value, level, mac = parts
+            return VetoMessage(
+                sensor_id=sensor_id, value=value, level=level, mac=mac,
+                instance=instance,
+            )
+        if tag == "tree-beacon":
+            _, origin, hop_count = parts
+            return TreeBeacon(origin=origin, hop_count=hop_count)
+        if tag == "predicate-challenge":
+            _, key_ref, predicate_bytes, nonce, reply_hash = parts
+            return PredicateChallenge(
+                key_ref=tuple(key_ref), predicate_bytes=predicate_bytes,
+                nonce=nonce, reply_hash=reply_hash,
+            )
+        if tag == "predicate-reply":
+            _, mac = parts
+            return PredicateReply(mac=mac)
+        if tag == "bundle":
+            messages = []
+            for encoded in parts[1:]:
+                message = decode_payload(encoded)
+                if not isinstance(message, ReadingMessage):
+                    raise FramingError("bundle may only carry reading messages")
+                messages.append(message)
+            return SynopsisBundle(messages=tuple(messages))
+    except (ValueError, TypeError) as exc:
+        raise FramingError(f"malformed {tag!r} payload: {parts!r}") from exc
+    raise FramingError(f"unknown payload tag {tag!r}")
+
+
+def iter_records(buffer: bytes) -> Iterator[Tuple]:
+    """Decode a fully-buffered sequence of records (testing helper)."""
+    offset = 0
+    while offset < len(buffer):
+        parts, offset = decode_record(buffer, offset)
+        yield parts

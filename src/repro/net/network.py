@@ -41,6 +41,7 @@ from ..sim.clock import ClockAssignment
 from ..topology.graph import Topology, component_over, depths_over
 from .message import MAC_BYTES, Payload, message_digest
 from .node import HonestNode
+from .transport import SimTransport, _EMPTY_ARRIVALS
 
 EDGE_KEY_INDEX_BYTES = 2
 
@@ -326,9 +327,11 @@ class PhaseContext:
         # recycled; this never does).
         self.sequence = sequence
         self.current_interval = 0
-        self._pending: Dict[int, Dict[int, List[Delivery]]] = defaultdict(
-            lambda: defaultdict(list)
-        )
+        # Frame store: the in-process SimTransport unless the network
+        # installs a factory (the service runtime does, to ship frames
+        # between OS processes while keeping this exact store contract).
+        factory = network.transport_factory
+        self.transport = SimTransport() if factory is None else factory(self)
         self._payloads_per_interval: Counter = Counter()
         self.suppressed_sends = 0
 
@@ -347,12 +350,22 @@ class PhaseContext:
                 f"intervals must advance sequentially; at {self.current_interval}, got {k}"
             )
         self.current_interval = k
-        self.network.metrics.record_intervals(1)
-        injector = self.network.fault_injector
+        network = self.network
+        if network.service_replica:
+            # Replica hosts (repro.service) keep their own cumulative
+            # interval clock: the coordinator owns the metrics, but
+            # fault windows are expressed on the cumulative-slot axis
+            # and must advance identically on every replica.
+            network.service_interval_clock += 1
+            global_interval = network.service_interval_clock
+        else:
+            network.metrics.record_intervals(1)
+            global_interval = network.metrics.intervals_elapsed
+        injector = network.fault_injector
         if injector is not None:
             # Global interval index = cumulative slots across all phases;
             # fault windows are expressed on this axis.
-            injector.on_interval_begin(self.name, self.network.metrics.intervals_elapsed)
+            injector.on_interval_begin(self.name, global_interval)
 
     # ------------------------------------------------------------------
     # Sending
@@ -521,7 +534,7 @@ class PhaseContext:
                 edge_mac=mac,
                 verified=network._accepts_message(receiver, key_index, mac, message),
             )
-        self._pending[interval][receiver].append(delivery)
+        self.transport.deposit(interval, receiver, delivery)
         network.metrics.record_transmission(physical_sender, receiver, delivery.wire_size())
         if network.tracer is not None:
             network.tracer.record(
@@ -542,7 +555,7 @@ class PhaseContext:
                 # identical second copy.  Only the receive side pays (the
                 # duplicate is the receiver's radio hearing a repeat);
                 # protocol logic must stay idempotent under it.
-                self._pending[interval][receiver].append(delivery)
+                self.transport.deposit(interval, receiver, delivery)
                 network.metrics.bytes_received[receiver] += delivery.wire_size()
                 network.metrics.messages_received[receiver] += 1
                 network.metrics.record_fault("duplicate")
@@ -560,7 +573,7 @@ class PhaseContext:
             raise NetworkError(
                 f"interval {interval} has not begun (current {self.current_interval})"
             )
-        return list(self._pending.get(interval, {}).get(receiver, ()))
+        return self.transport.frames(interval, receiver)
 
     def verified_inbox(self, receiver: int, interval: int) -> List[Delivery]:
         return [d for d in self.inbox(receiver, interval) if d.verified]
@@ -578,11 +591,7 @@ class PhaseContext:
             raise NetworkError(
                 f"interval {interval} has not begun (current {self.current_interval})"
             )
-        return self._pending.get(interval) or _EMPTY_ARRIVALS
-
-
-#: Shared empty arrival map (never mutated; see ``arrival_map``).
-_EMPTY_ARRIVALS: Dict[int, List["Delivery"]] = {}
+        return self.transport.arrivals(interval)
 
 
 class Network:
@@ -635,6 +644,24 @@ class Network:
         # on this being non-None, so fault-free runs take the exact code
         # paths they always did.
         self.fault_injector = None
+        # Service-runtime seams (repro.service; all inert by default so
+        # simulator runs take the exact code paths they always did):
+        # * transport_factory: phase -> transport, substituting the
+        #   frame store (docs/SERVICE.md transport contract);
+        # * honest_driver: when set, the core phase loops delegate their
+        #   honest per-interval work to it (node host processes);
+        # * broadcast_hook: called with each authenticated flood's
+        #   payload so the coordinator can fan it out to node hosts;
+        # * service_replica: marks a deterministic replica network inside
+        #   a node host — replicas run real protocol logic but must not
+        #   double-count global metrics, so interval/broadcast clocks
+        #   move to the two counters below.
+        self.transport_factory = None
+        self.honest_driver = None
+        self.broadcast_hook = None
+        self.service_replica = False
+        self.service_interval_clock = 0
+        self.service_broadcast_clock = 0
 
     # ------------------------------------------------------------------
     # Membership
@@ -851,7 +878,17 @@ class Network:
         disclosure = self.authority.disclose(message.index)
         wire = message.wire_size() + disclosure.wire_size()
         injector = self.fault_injector
-        round_index = self.metrics.authenticated_broadcasts + 1
+        # Replicas (service node hosts) run the full flood for its state
+        # effects — verifier chain advance, crash-suspected flags — but
+        # the coordinator already accounts the broadcast globally, so
+        # replica metric writes are skipped and the round index comes
+        # from the replica's own broadcast clock.
+        metrics = None if self.service_replica else self.metrics
+        if metrics is None:
+            self.service_broadcast_clock += 1
+            round_index = self.service_broadcast_clock
+        else:
+            round_index = metrics.authenticated_broadcasts + 1
         if injector is not None:
             injector.on_broadcast(round_index)
             component = self.fault_aware_secure_component()
@@ -871,8 +908,9 @@ class Network:
                 # it does receive), so it abstains from vetoing rather
                 # than acting on a stale view of the execution.
                 node.crash_suspected = True
-                self.metrics.messages_lost += 1
-                self.metrics.record_fault("broadcast-miss")
+                if metrics is not None:
+                    metrics.messages_lost += 1
+                    metrics.record_fault("broadcast-miss")
                 continue
             if node_id not in component:
                 continue  # partitioned sensors cannot be reached (Section III)
@@ -882,19 +920,23 @@ class Network:
                 raise ProtocolError(
                     f"honest sensor {node_id} rejected an authentic broadcast"
                 )
-            if view is not None:
-                degree = view.secure_degree(node_id)
-            else:
-                degree = len(self.secure_neighbors(node_id))
-            self.metrics.bytes_sent[node_id] += wire * degree
-            self.metrics.bytes_received[node_id] += wire
-        self.metrics.record_authenticated_broadcast()
+            if metrics is not None:
+                if view is not None:
+                    degree = view.secure_degree(node_id)
+                else:
+                    degree = len(self.secure_neighbors(node_id))
+                metrics.bytes_sent[node_id] += wire * degree
+                metrics.bytes_received[node_id] += wire
+        if metrics is not None:
+            metrics.record_authenticated_broadcast()
         if injector is not None:
             extra = injector.broadcast_delay(round_index)
-            if extra:
+            if extra and metrics is not None:
                 # The [20] primitive retried through a lossy period: the
                 # message still arrives, but the round costs more time.
-                self.metrics.record_flooding_rounds(extra, "broadcast-delayed")
+                metrics.record_flooding_rounds(extra, "broadcast-delayed")
+        if self.broadcast_hook is not None:
+            self.broadcast_hook(tuple(payload))
         if self.tracer is not None:
             self.tracer.record(
                 "authenticated-broadcast",

@@ -1,0 +1,62 @@
+"""Frame-store transports behind :class:`~repro.net.network.PhaseContext`.
+
+The simulator's frame store — a per-interval, per-receiver list of
+:class:`~repro.net.network.Delivery` frames — is factored out here as
+:class:`SimTransport` so a second runtime can substitute its own store.
+The service runtime (:mod:`repro.service`) installs transports that
+*additionally* queue each deposited frame for shipment between OS
+processes, while reusing this in-process store for everything the local
+protocol logic reads.
+
+Transport contract (what ``PhaseContext`` relies on):
+
+* ``deposit(interval, receiver, delivery)`` appends one received frame.
+  Deposit order **is** protocol semantics: honest logic adopts the first
+  verified beacon/veto in inbox order, so a transport must present
+  frames in exactly the order the simulator would have deposited them.
+* ``frames(interval, receiver)`` returns a fresh list of that inbox (the
+  caller may filter/slice it freely).
+* ``arrivals(interval)`` returns a read-only mapping
+  ``receiver -> frames`` for cheap emptiness tests; callers treat it as
+  frozen.
+
+The readability gates (an inbox is visible only once its interval has
+begun) stay in ``PhaseContext`` — transports store and order frames,
+they do not police phase time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .network import Delivery
+
+#: Shared empty arrival map (never mutated; see ``arrivals``).
+_EMPTY_ARRIVALS: Dict[int, List["Delivery"]] = {}
+
+
+class SimTransport:
+    """The in-process frame store the simulator has always used.
+
+    Frames are kept exactly where :meth:`deposit` put them, in call
+    order — chronological send order, which downstream acceptance loops
+    depend on.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, Dict[int, List["Delivery"]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+
+    def deposit(self, interval: int, receiver: int, delivery: "Delivery") -> None:
+        self._pending[interval][receiver].append(delivery)
+
+    def frames(self, interval: int, receiver: int) -> List["Delivery"]:
+        return list(self._pending.get(interval, {}).get(receiver, ()))
+
+    def arrivals(self, interval: int) -> Mapping[int, Sequence["Delivery"]]:
+        return self._pending.get(interval) or _EMPTY_ARRIVALS

@@ -1,0 +1,57 @@
+"""repro.service — the VMAT protocol over real OS processes.
+
+The in-process simulator and this runtime share every byte of protocol
+logic: the phase loops in :mod:`repro.core` drive either an inline
+simulator step or a :class:`ServiceRuntime` tick/deliver round trip over
+length-prefixed TCP, and the frame encodings, MACs and acceptance rules
+are identical.  ``run_equivalence`` makes that claim checkable: same
+seed, same readings → same estimate, same revocation set, same metrics.
+
+Entry points:
+
+* :func:`run_service_session` — launch a loopback deployment, run a full
+  query session end-to-end, tear everything down.
+* :func:`run_equivalence` — the above plus an in-process control leg and
+  a field-by-field comparison.
+* :func:`generate_deployment` — emit docker-compose / Procfile artifacts
+  for externally-supervised deployments.
+
+See docs/SERVICE.md for the architecture and the transport contract.
+"""
+
+from .generate import generate_deployment
+from .node import NodeHost, run_node_host
+from .runtime import (
+    ATTACKS,
+    EquivalenceReport,
+    ServiceRunResult,
+    ServiceRuntime,
+    default_readings,
+    run_equivalence,
+    run_service_session,
+    run_sim_session,
+    strip_runtime_metrics,
+)
+from .spec import SUPPORTED_QUERIES, UNSUPPORTED_FAULT_KINDS, ServiceSpec
+from .supervisor import Supervisor
+from .wire import RecordChannel
+
+__all__ = [
+    "ATTACKS",
+    "EquivalenceReport",
+    "NodeHost",
+    "RecordChannel",
+    "ServiceRunResult",
+    "ServiceRuntime",
+    "ServiceSpec",
+    "SUPPORTED_QUERIES",
+    "Supervisor",
+    "UNSUPPORTED_FAULT_KINDS",
+    "default_readings",
+    "generate_deployment",
+    "run_equivalence",
+    "run_node_host",
+    "run_service_session",
+    "run_sim_session",
+    "strip_runtime_metrics",
+]

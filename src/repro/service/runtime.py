@@ -1,0 +1,598 @@
+"""The service coordinator: the unmodified protocol over real processes.
+
+:class:`ServiceRuntime` is the *driver* the core phase loops delegate to
+when ``network.honest_driver`` is set.  The coordinator process keeps the
+base station, the adversary and a complete mirror of every frame (so the
+in-process protocol logic — aggregation decisions, veto classification,
+pinpointing — runs unchanged); the honest sensors' per-interval work runs
+on node-host OS processes (:mod:`repro.service.node`) speaking the
+byte-level frame encodings over length-prefixed TCP.
+
+Interval discipline (one ``tick``/``deliver`` round trip per slot):
+
+* ``tick k`` — every host runs its hosted sensors' sends for interval
+  ``k`` concurrently, ships cross-host frames peer-to-peer, and reports
+  *all* frames up; the coordinator folds them into its mirror store in
+  the canonical ``(band, order, subseq)`` order.
+* ``deliver k`` — the coordinator ships its own deposits (base-station
+  and adversary frames) down, hosts run acceptance, and state deltas
+  (tree levels, veto adoptions) come back to keep the mirror exact.
+
+Frames the coordinator deposits get *band 0* before the tick (adversary
+hooks that run first in the interval, sends into future intervals) and
+*band 2* after it (the tree phase's post-tick adversary) — reproducing
+the simulator's chronological deposit order on every inbox.
+
+Revocations are the one piece of registry state that must not drift:
+:class:`_SyncingRegistry` wraps the coordinator's registry so every
+``revoke_key``/``revoke_sensor`` is replayed on all replicas (the
+θ-threshold cascade then re-derives identically everywhere).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.protocol import ExecutionOutcome, VMATProtocol
+from ..errors import ConfigError, ProtocolError, ServiceError
+from ..metrics import Metrics
+from ..net.message import VetoMessage
+from ..net.node import ConfReceiptRecord
+from ..net.transport import SimTransport
+from .spec import SUPPORTED_QUERIES, ServiceSpec
+from .supervisor import Supervisor
+from .wire import RecordChannel, control_timeout, delivery_envelope, \
+    envelope_sort_key, ingest_envelope
+
+#: Attack names (CLI-level) -> (strategy registry name, predtest policy).
+ATTACKS = {
+    "drop": ("drop-minimum", "deny"),
+    "junk": ("junk-minimum", "truthful"),
+    "spurious-veto": ("spurious-veto", "truthful"),
+    "hide": ("hide-and-veto", "truthful"),
+}
+
+
+class CoordinatorTransport(SimTransport):
+    """The coordinator's frame store: the full mirror, plus down-shipping.
+
+    Every deposit lands in the in-process store (so the base station and
+    the adversary read exactly what the simulator would have shown them);
+    deposits addressed to a *hosted* sensor are additionally queued for
+    shipment to that sensor's host on the next ``deliver``.
+    """
+
+    __slots__ = ("runtime", "phase")
+
+    def __init__(self, runtime: "ServiceRuntime", phase) -> None:
+        super().__init__()
+        self.runtime = runtime
+        self.phase = phase
+
+    def deposit(self, interval, receiver, delivery) -> None:
+        super().deposit(interval, receiver, delivery)
+        runtime = self.runtime
+        host = runtime.host_of.get(receiver)
+        if host is None:
+            return  # base station or malicious sensor: coordinator-local
+        if interval > self.phase.current_interval or not runtime.tick_done:
+            band = 0  # lands before the interval's honest sends
+        else:
+            band = 2  # post-tick (tree-phase adversary): after honest sends
+        runtime.order_counter += 1
+        env = delivery_envelope(delivery, band, runtime.order_counter, 0)
+        runtime.pending_ship.setdefault(host, []).append(env)
+
+    def ingest(self, env) -> None:
+        """Fold one host-reported frame into the mirror (no re-shipping)."""
+        interval, receiver, _key, delivery = ingest_envelope(self.phase, env)
+        super().deposit(interval, receiver, delivery)
+
+
+class _SyncingRegistry:
+    """Registry proxy that replays revocations on every node host.
+
+    Only the two entry points pinpointing uses are intercepted; the
+    θ-threshold cascade runs *inside* the registry on each process and
+    re-derives the same follow-on revocations deterministically.
+    """
+
+    def __init__(self, registry, runtime: "ServiceRuntime") -> None:
+        self._registry = registry
+        self._runtime = runtime
+
+    def revoke_key(self, index: int, reason: str = "pinpointed"):
+        events = self._registry.revoke_key(index, reason=reason)
+        self._runtime.sync_revocation("key", index, reason)
+        return events
+
+    def revoke_sensor(self, sensor_id: int, reason: str = "pinpointed"):
+        events = self._registry.revoke_sensor(sensor_id, reason=reason)
+        self._runtime.sync_revocation("sensor", sensor_id, reason)
+        return events
+
+    def __getattr__(self, name):
+        return getattr(self._registry, name)
+
+
+class ServiceRuntime:
+    """Launches node hosts and drives them in lockstep with the protocol."""
+
+    def __init__(self, network, spec: ServiceSpec, spawn_hosts: bool = True) -> None:
+        spec.validate()
+        if not spawn_hosts and spec.control_port == 0:
+            raise ConfigError(
+                "externally-started hosts need a fixed control_port in the spec"
+            )
+        self.network = network
+        self.spec = spec
+        self.spawn_hosts = spawn_hosts
+        self.host_of = spec.host_of_map()
+        self.channels: List[RecordChannel] = []
+        self.supervisor: Optional[Supervisor] = None
+        self.server: Optional[socket.socket] = None
+        self.phase = None
+        self._phase_kind: Optional[str] = None
+        self.tick_done = False
+        self.order_counter = 0
+        self.pending_ship: Dict[int, List[tuple]] = {}
+        self._interval_started = 0.0
+        self._raw_registry = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _count_wire(self, nbytes: int, frames: int) -> None:
+        self.network.metrics.record_wire(nbytes, frames)
+
+    def launch(self) -> None:
+        spec = self.spec
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((spec.host, spec.control_port))
+        server.listen(spec.processes)
+        server.settimeout(control_timeout())
+        control_port = server.getsockname()[1]
+        child_spec = dataclasses.replace(spec, control_port=control_port)
+        spec_json = child_spec.to_json()
+
+        self.supervisor = Supervisor()
+        try:
+            if self.spawn_hosts:
+                for host_index in range(spec.processes):
+                    self.supervisor.spawn_host(host_index, spec_json)
+            by_index: Dict[int, RecordChannel] = {}
+            peer_ports = [0] * spec.processes
+            for _ in range(spec.processes):
+                try:
+                    conn, _addr = server.accept()
+                except socket.timeout:
+                    raise ServiceError(
+                        f"only {len(by_index)}/{spec.processes} node hosts "
+                        "connected before the control timeout "
+                        f"({len(self.supervisor.alive())} still alive)"
+                    ) from None
+                channel = RecordChannel(conn, on_wire=self._count_wire)
+                hello = channel.recv()
+                if hello[0] != "hello":
+                    raise ServiceError(f"expected hello, got {hello[0]!r}")
+                _tag, host_index, peer_port = hello
+                by_index[host_index] = channel
+                peer_ports[host_index] = peer_port
+            self.channels = [by_index[i] for i in range(spec.processes)]
+            ports = tuple(peer_ports)
+            for channel in self.channels:
+                channel.send("peers", ports)
+            for channel in self.channels:
+                self._expect_ok(channel)
+        except Exception:
+            self.supervisor.shutdown()
+            server.close()
+            raise
+        self.server = server
+
+        network = self.network
+        network.transport_factory = lambda phase: CoordinatorTransport(self, phase)
+        network.honest_driver = self
+        network.broadcast_hook = self._on_broadcast
+        self._raw_registry = network.registry
+        network.registry = _SyncingRegistry(self._raw_registry, self)
+
+    def finish(self) -> List[str]:
+        """Tear everything down; returns (non-fatal) host error strings."""
+        errors: List[str] = []
+        for channel in self.channels:
+            try:
+                record = channel.request("shutdown")
+                if record[0] == "metrics":
+                    self.network.metrics.merge(
+                        Metrics.from_dict(json.loads(record[1]))
+                    )
+                else:
+                    errors.append(f"expected metrics record, got {record[0]!r}")
+            except ServiceError as exc:
+                errors.append(str(exc))
+            channel.close()
+        self.channels = []
+        if self.supervisor is not None:
+            for code in self.supervisor.shutdown():
+                if code != 0:
+                    errors.append(f"node host exited with status {code}")
+            self.supervisor = None
+        if self.server is not None:
+            self.server.close()
+            self.server = None
+        network = self.network
+        network.transport_factory = None
+        network.honest_driver = None
+        network.broadcast_hook = None
+        if self._raw_registry is not None:
+            network.registry = self._raw_registry
+            self._raw_registry = None
+        return errors
+
+    def _expect_ok(self, channel: RecordChannel) -> None:
+        record = channel.recv()
+        if record[0] != "ok":
+            raise ServiceError(f"expected ok, got {record[0]!r}")
+
+    def _broadcast_request(self, *parts) -> List[tuple]:
+        """Send one record to every host, then collect every reply."""
+        for channel in self.channels:
+            channel.send(*parts)
+        return [channel.recv() for channel in self.channels]
+
+    # ------------------------------------------------------------------
+    # Cross-process side channels
+    # ------------------------------------------------------------------
+    def _on_broadcast(self, payload: tuple) -> None:
+        for record in self._broadcast_request("broadcast", payload):
+            if record[0] != "ok":
+                raise ServiceError(f"broadcast not applied: {record[0]!r}")
+
+    def sync_revocation(self, what: str, target: int, reason: str) -> None:
+        for record in self._broadcast_request("revoke", what, target, reason):
+            if record[0] != "ok":
+                raise ServiceError(f"revocation not applied: {record[0]!r}")
+
+    # ------------------------------------------------------------------
+    # Driver interface (called by the core phase loops)
+    # ------------------------------------------------------------------
+    def execution_starting(self) -> None:
+        for record in self._broadcast_request("execution-starting"):
+            if record[0] != "ok":
+                raise ServiceError(f"execution reset failed: {record[0]!r}")
+
+    def begin_execution(self, readings, query_name, num_instances, nonce) -> None:
+        pairs = tuple(
+            (int(node_id), float(value))
+            for node_id, value in sorted(readings.items())
+        )
+        replies = self._broadcast_request(
+            "begin-execution", pairs, query_name, num_instances, nonce
+        )
+        for record in replies:
+            if record[0] != "ok":
+                raise ServiceError(f"begin-execution failed: {record[0]!r}")
+
+    def phase_begin(self, kind: str, phase, **kwargs) -> None:
+        self.phase = phase
+        self._phase_kind = kind
+        self.tick_done = False
+        self.pending_ship = {}
+        if kind == "tree":
+            record = (
+                "phase-begin", kind, phase.num_intervals,
+                kwargs["depth_bound"], kwargs["variant"],
+            )
+        elif kind == "aggregation":
+            record = (
+                "phase-begin", kind, phase.num_intervals,
+                kwargs["nonce"], kwargs["num_instances"],
+            )
+        elif kind == "confirmation":
+            record = (
+                "phase-begin", kind, phase.num_intervals,
+                kwargs["nonce"], tuple(kwargs["minima"]),
+            )
+        elif kind == "predicate-reply":
+            ref_kind, ref_ident = kwargs["key_ref"]
+            record = (
+                "phase-begin", kind, phase.num_intervals,
+                ref_kind, ref_ident, kwargs["predicate_bytes"],
+                kwargs["nonce"], kwargs["reply_hash"],
+            )
+        else:
+            raise ServiceError(f"unknown phase kind {kind!r}")
+
+        replies = self._broadcast_request(*record)
+        for reply in replies:
+            if reply[0] != "phase-begun":
+                raise ServiceError(f"phase-begin failed: {reply[0]!r}")
+        if kind == "confirmation":
+            # Mirror the hosts' initial vetoers: a vetoer has
+            # forwarded_veto set and no SOF receipt, which is exactly the
+            # pair num_vetoers counts on the coordinator.
+            for reply in replies:
+                for node_id in reply[1]:
+                    self.network.nodes[node_id].forwarded_veto = True
+
+    def tick(self, k: int) -> None:
+        self._interval_started = time.perf_counter()
+        replies = self._broadcast_request("tick", k)
+        up: List[tuple] = []
+        for record in replies:
+            if record[0] != "tick-done":
+                raise ServiceError(f"tick failed: {record[0]!r}")
+            up.extend(record[1])
+        # Honest frames are (band 1, sender id, per-host seq): the global
+        # sort reproduces the simulator's ascending-sender send order.
+        up.sort(key=envelope_sort_key)
+        transport = self.phase.transport
+        for env in up:
+            transport.ingest(env)
+        self.tick_done = True
+
+    def deliver(self, k: int) -> None:
+        pending = self.pending_ship
+        self.pending_ship = {}
+        for host_index, channel in enumerate(self.channels):
+            channel.send("deliver", k, tuple(pending.get(host_index, ())))
+        replies = [channel.recv() for channel in self.channels]
+        for record in replies:
+            if record[0] != "deliver-done":
+                raise ServiceError(f"deliver failed: {record[0]!r}")
+        kind = self._phase_kind
+        if kind == "tree":
+            for record in replies:
+                for node_id, level, parents in record[1]:
+                    node = self.network.nodes[node_id]
+                    node.level = level
+                    node.parents = list(parents)
+        elif kind == "confirmation":
+            # Adopters: forwarded_veto plus a sentinel SOF receipt, so
+            # num_vetoers (vetoer = forwarded, *no* receipt) stays exact.
+            for record in replies:
+                for node_id in record[1]:
+                    node = self.network.nodes[node_id]
+                    node.forwarded_veto = True
+                    node.audit.conf_receipts.append(
+                        ConfReceiptRecord(
+                            interval=k,
+                            message=VetoMessage(
+                                sensor_id=0, value=0.0, level=0, mac=b"", instance=0
+                            ),
+                            in_edge_index=-1,
+                            frm=-1,
+                        )
+                    )
+        self.tick_done = False
+        self.network.metrics.record_wall_clock(
+            kind or "interval", time.perf_counter() - self._interval_started
+        )
+
+    def phase_end(self) -> None:
+        for record in self._broadcast_request("phase-end"):
+            if record[0] != "ok":
+                raise ServiceError(f"phase-end failed: {record[0]!r}")
+        self.phase = None
+        self._phase_kind = None
+
+
+# ----------------------------------------------------------------------
+# Sessions over the service transport
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceRunResult:
+    """Protocol-level outcome of one session (service or simulator leg)."""
+
+    estimate: Optional[float]
+    outcomes: List[str]
+    revocations: List[Tuple[str, int, str]]  # (kind, target, reason)
+    num_executions: int
+    metrics: Metrics
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def default_readings(spec: ServiceSpec) -> Dict[int, float]:
+    """Deterministic readings over all sensors (honest and malicious)."""
+    return {
+        i: 50.0 + ((i * 7) % 23) + 0.25 * i for i in range(1, spec.num_nodes)
+    }
+
+
+def _build_protocol(spec: ServiceSpec, attack: Optional[str]):
+    from ..adversary import Adversary
+    from ..adversary.strategies import make_strategy
+    from ..faults import FaultInjector
+
+    deployment = spec.build_deployment()
+    network = deployment.network
+    plan = spec.plan()
+    if plan is not None:
+        FaultInjector(plan, seed=spec.fault_seed).attach(network)
+    adversary = None
+    if attack is not None:
+        if attack not in ATTACKS:
+            raise ConfigError(
+                f"unknown attack {attack!r}; known: {sorted(ATTACKS)}"
+            )
+        strategy_name, predtest = ATTACKS[attack]
+        adversary = Adversary(
+            network, make_strategy(strategy_name, predtest=predtest), seed=spec.seed
+        )
+    protocol = VMATProtocol(
+        network, adversary,
+        depth_bound=spec.depth_bound, tree_variant=spec.tree_variant,
+    )
+    return deployment, protocol
+
+
+def _session_loop(protocol, query, readings, max_executions, time_metrics=None):
+    """``VMATProtocol.run_session`` semantics, with optional per-execution
+    wall-clock sampling (the service leg records; the simulator leg, whose
+    timings are meaningless for the comparison, does not)."""
+    executions = []
+    for _ in range(max_executions):
+        started = time.perf_counter()
+        execution = protocol.execute(query, readings)
+        if time_metrics is not None:
+            time_metrics.record_wall_clock(
+                "execution", time.perf_counter() - started
+            )
+        executions.append(execution)
+        if execution.produced_result:
+            return executions, execution.estimate
+        if not execution.revocations:
+            if execution.outcome is ExecutionOutcome.INCONCLUSIVE:
+                continue
+            raise ProtocolError(
+                "an execution neither produced a result nor revoked "
+                "anything — Theorem 7 violated"
+            )
+    raise ProtocolError(f"no result after {max_executions} executions")
+
+
+def _run_result(executions, estimate, metrics, with_latency: bool) -> ServiceRunResult:
+    return ServiceRunResult(
+        estimate=estimate,
+        outcomes=[e.outcome.value for e in executions],
+        revocations=[
+            (event.kind, event.target, event.reason)
+            for e in executions
+            for event in e.revocations
+        ],
+        num_executions=len(executions),
+        metrics=metrics,
+        latency=metrics.latency_percentiles() if with_latency else {},
+    )
+
+
+def run_service_session(
+    spec: ServiceSpec,
+    query_name: str = "min",
+    attack: Optional[str] = None,
+    readings: Optional[Dict[int, float]] = None,
+    max_executions: int = 50,
+    external_hosts: bool = False,
+) -> ServiceRunResult:
+    """One full query session over a loopback service deployment.
+
+    Launches the node hosts, drives executions until one produces a
+    result (Theorem 7 semantics), merges every host's metrics, and always
+    tears the deployment down — no orphan survives an exception.
+    """
+    from .node import _query_by_name
+
+    spec.validate()
+    if query_name not in SUPPORTED_QUERIES:
+        raise ConfigError(
+            f"query {query_name!r} not supported by the service runtime; "
+            f"supported: {SUPPORTED_QUERIES}"
+        )
+    deployment, protocol = _build_protocol(spec, attack)
+    network = deployment.network
+    query = _query_by_name(query_name)
+    if readings is None:
+        readings = default_readings(spec)
+
+    runtime = ServiceRuntime(network, spec, spawn_hosts=not external_hosts)
+    runtime.launch()
+    try:
+        executions, estimate = _session_loop(
+            protocol, query, readings, max_executions, time_metrics=network.metrics
+        )
+    finally:
+        errors = runtime.finish()
+    if errors:
+        raise ServiceError("service teardown reported: " + "; ".join(errors))
+    return _run_result(executions, estimate, network.metrics, with_latency=True)
+
+
+def run_sim_session(
+    spec: ServiceSpec,
+    query_name: str = "min",
+    attack: Optional[str] = None,
+    readings: Optional[Dict[int, float]] = None,
+    max_executions: int = 50,
+) -> ServiceRunResult:
+    """The in-process control leg: the same seeded session ``spec``
+    describes, run entirely inside the simulator (no processes)."""
+    from .node import _query_by_name
+
+    spec.validate()
+    deployment, protocol = _build_protocol(spec, attack)
+    query = _query_by_name(query_name)
+    if readings is None:
+        readings = default_readings(spec)
+    executions, estimate = _session_loop(protocol, query, readings, max_executions)
+    return _run_result(
+        executions, estimate, deployment.network.metrics, with_latency=False
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulator-vs-service equivalence
+# ----------------------------------------------------------------------
+_RUNTIME_ONLY_METRICS = ("wall_clock", "wire_bytes", "wire_frames")
+
+
+def strip_runtime_metrics(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """Drop the fields only the service runtime produces (timings, wire
+    accounting); everything else must match the simulator bit-for-bit."""
+    return {k: v for k, v in snapshot.items() if k not in _RUNTIME_ONLY_METRICS}
+
+
+@dataclass
+class EquivalenceReport:
+    matches: bool
+    diffs: List[str]
+    service: ServiceRunResult
+    sim: ServiceRunResult
+
+
+def run_equivalence(
+    spec: ServiceSpec,
+    query_name: str = "min",
+    attack: Optional[str] = None,
+    max_executions: int = 50,
+) -> EquivalenceReport:
+    """Run the same seeded session twice — once over node-host processes,
+    once in-process — and compare every protocol-level outcome."""
+    readings = default_readings(spec)
+    service = run_service_session(
+        spec, query_name, attack=attack, readings=readings,
+        max_executions=max_executions,
+    )
+    sim = run_sim_session(
+        spec, query_name, attack=attack, readings=readings,
+        max_executions=max_executions,
+    )
+
+    diffs: List[str] = []
+    if service.estimate != sim.estimate:
+        diffs.append(f"estimate: service={service.estimate} sim={sim.estimate}")
+    if service.outcomes != sim.outcomes:
+        diffs.append(f"outcomes: service={service.outcomes} sim={sim.outcomes}")
+    if service.revocations != sim.revocations:
+        diffs.append(
+            f"revocations: service={service.revocations} sim={sim.revocations}"
+        )
+    service_metrics = strip_runtime_metrics(service.metrics.to_dict())
+    sim_metrics = strip_runtime_metrics(sim.metrics.to_dict())
+    if service_metrics != sim_metrics:
+        keys = sorted(
+            set(service_metrics) | set(sim_metrics),
+        )
+        for key in keys:
+            left, right = service_metrics.get(key), sim_metrics.get(key)
+            if left != right:
+                diffs.append(f"metrics[{key}]: service={left!r} sim={right!r}")
+    return EquivalenceReport(
+        matches=not diffs, diffs=diffs, service=service, sim=sim
+    )

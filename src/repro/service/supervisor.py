@@ -1,0 +1,92 @@
+"""Child-process supervision for the service runtime.
+
+The coordinator spawns one OS process per node host and must never leak
+them: every exit path — clean shutdown, protocol error, timeout, test
+teardown — funnels through :meth:`Supervisor.shutdown`, which escalates
+SIGTERM (graceful: hosts flush metrics) to SIGKILL and reaps every child.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence
+
+
+def python_env() -> Dict[str, str]:
+    """Environment for a child that must import :mod:`repro`.
+
+    Prepends the package's source root to ``PYTHONPATH`` so hosts work
+    under ``PYTHONPATH=src`` checkouts and installed trees alike.
+    """
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + os.pathsep + existing if existing else src_root
+        )
+    return env
+
+
+class Supervisor:
+    """Owns a set of child processes and guarantees they are reaped."""
+
+    def __init__(self) -> None:
+        self.procs: List[subprocess.Popen] = []
+
+    def spawn(
+        self, args: Sequence[str], env: Optional[Dict[str, str]] = None
+    ) -> subprocess.Popen:
+        proc = subprocess.Popen(
+            list(args),
+            env=env if env is not None else python_env(),
+            stdin=subprocess.DEVNULL,
+        )
+        self.procs.append(proc)
+        return proc
+
+    def spawn_host(self, host_index: int, spec_json: str) -> subprocess.Popen:
+        from .spec import SPEC_ENV
+
+        env = python_env()
+        env[SPEC_ENV] = spec_json
+        return self.spawn(
+            [sys.executable, "-m", "repro", "service", "node",
+             "--host-index", str(host_index)],
+            env=env,
+        )
+
+    def alive(self) -> List[subprocess.Popen]:
+        return [p for p in self.procs if p.poll() is None]
+
+    def shutdown(self, grace: float = 5.0) -> List[int]:
+        """Terminate and reap every child; returns their exit codes.
+
+        SIGTERM first (node hosts trap it to flush metrics and exit 0),
+        SIGKILL for anything that outlives the grace period.  Idempotent.
+        """
+        for proc in self.procs:
+            if proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        codes: List[int] = []
+        for proc in self.procs:
+            try:
+                codes.append(proc.wait(timeout=grace))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                codes.append(proc.wait())
+        return codes
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

@@ -1,0 +1,204 @@
+"""Wire plumbing for the service runtime: record channels + frame envelopes.
+
+Two kinds of bytes cross process boundaries:
+
+* **control records** — tuples of ints/floats/strs/bytes/bools/None/
+  nested tuples, length-prefix framed via :mod:`repro.net.framing`
+  (``encode_record`` / ``StreamDecoder``).  The coordinator speaks them
+  over blocking sockets; node hosts over asyncio streams.
+
+* **frame envelopes** — one per link-layer :class:`~repro.net.network.
+  Delivery`, carrying the byte-level payload encoding plus the real
+  edge-key HMAC and a ``(band, order, subseq)`` sort key.  Receivers
+  re-decode the payload, re-derive the canonical edge-MAC message and
+  verify the HMAC themselves — acceptance is recomputed from crypto on
+  every process, never trusted from the sender.
+
+The sort key makes a receiver's per-interval inbox order *identical* to
+the in-process simulator's chronological deposit order no matter how the
+asynchronous shipping interleaves: band 0 frames (base station + pre-tick
+adversary + frames sent into future intervals) precede honest frames
+(band 1, ordered by sender id, then per-host sequence), which precede
+post-tick adversary frames (band 2).  Within a coordinator band, a global
+monotone counter preserves coordinator chronology.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..net.framing import StreamDecoder, encode_record
+from ..net.network import Delivery, PhaseContext, _SendBatch
+
+#: (interval, receiver, band, order, subseq, claimed_sender, key_index,
+#:  edge_mac, payload_bytes)
+Envelope = Tuple[int, int, int, int, int, int, int, bytes, bytes]
+
+DEFAULT_TIMEOUT = float(os.environ.get("REPRO_SERVICE_TIMEOUT", "60"))
+
+_RECV_CHUNK = 65536
+
+
+def control_timeout() -> float:
+    return DEFAULT_TIMEOUT
+
+
+# ----------------------------------------------------------------------
+# Frame envelopes
+# ----------------------------------------------------------------------
+def delivery_envelope(
+    delivery: Delivery, band: int, order: int, subseq: int
+) -> Envelope:
+    """Pack one deposited frame for shipping.
+
+    Reading ``delivery.edge_mac`` forces the real HMAC computation on the
+    sending process — the wire always carries authenticated frames.
+    """
+    batch = delivery._batch
+    return (
+        delivery.interval,
+        delivery.receiver,
+        band,
+        order,
+        subseq,
+        batch.claimed_sender,
+        delivery.key_index,
+        delivery.edge_mac,
+        batch.payload_bytes,
+    )
+
+
+def envelope_sort_key(env: Envelope) -> Tuple[int, int, int]:
+    return (env[2], env[3], env[4])
+
+
+def ingest_envelope(
+    phase: PhaseContext, env: Envelope
+) -> Tuple[int, int, Tuple[int, int, int], Delivery]:
+    """Rebuild a :class:`Delivery` from an envelope on the receiving side.
+
+    Returns ``(interval, receiver, sort_key, delivery)``.  The payload is
+    re-decoded from its canonical bytes, the canonical encoding check
+    guards against any decode/encode asymmetry, and ``verified`` is
+    recomputed locally from the shipped HMAC — the receiving process
+    trusts only the cryptography, not the sender's verdict.
+    """
+    from ..net.framing import decode_payload
+
+    interval, receiver, band, order, subseq, sender, key_index, mac, payload_bytes = env
+    payload = decode_payload(payload_bytes)
+    batch = _SendBatch(phase, sender, payload)
+    if batch.payload_bytes != payload_bytes:
+        raise ServiceError(
+            f"frame payload re-encoding mismatch for sender {sender} -> "
+            f"{receiver} in interval {interval}"
+        )
+    network = phase.network
+    message = batch.message_for(receiver, interval)
+    verified = network._accepts_message(receiver, key_index, mac, message)
+    delivery = Delivery(
+        batch, receiver, key_index, interval, edge_mac=mac, verified=verified
+    )
+    return interval, receiver, (band, order, subseq), delivery
+
+
+# ----------------------------------------------------------------------
+# Synchronous record channel (coordinator side)
+# ----------------------------------------------------------------------
+class RecordChannel:
+    """Length-prefixed record I/O over one blocking socket."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        timeout: Optional[float] = None,
+        on_wire: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        sock.settimeout(timeout if timeout is not None else control_timeout())
+        self.sock = sock
+        self.decoder = StreamDecoder()
+        self._queue: List[tuple] = []
+        self.on_wire = on_wire
+
+    def send(self, *parts) -> None:
+        data = encode_record(*parts)
+        try:
+            self.sock.sendall(data)
+        except OSError as exc:
+            raise ServiceError(f"control send failed: {exc}") from exc
+        if self.on_wire is not None:
+            self.on_wire(len(data), 1)
+
+    def recv(self) -> tuple:
+        while not self._queue:
+            try:
+                chunk = self.sock.recv(_RECV_CHUNK)
+            except socket.timeout as exc:
+                raise ServiceError("control channel timed out") from exc
+            except OSError as exc:
+                raise ServiceError(f"control recv failed: {exc}") from exc
+            if not chunk:
+                raise ServiceError("control channel closed by peer")
+            if self.on_wire is not None:
+                self.on_wire(len(chunk), 0)
+            self._queue.extend(self.decoder.feed(chunk))
+        record = self._queue.pop(0)
+        if self.on_wire is not None:
+            self.on_wire(0, 1)
+        if record and record[0] == "error":
+            raise ServiceError(f"peer reported: {record[1]}")
+        return record
+
+    def request(self, *parts) -> tuple:
+        self.send(*parts)
+        return self.recv()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Asynchronous record stream (node-host side)
+# ----------------------------------------------------------------------
+class AsyncRecordStream:
+    """Length-prefixed record I/O over one asyncio stream pair."""
+
+    def __init__(self, reader, writer, on_wire=None) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = StreamDecoder()
+        self._queue: List[tuple] = []
+        self.on_wire = on_wire
+
+    async def send(self, *parts) -> None:
+        data = encode_record(*parts)
+        self.writer.write(data)
+        await self.writer.drain()
+        if self.on_wire is not None:
+            self.on_wire(len(data), 1)
+
+    async def recv(self) -> Optional[tuple]:
+        """Next record, or ``None`` on clean EOF."""
+        while not self._queue:
+            chunk = await self.reader.read(_RECV_CHUNK)
+            if not chunk:
+                return None
+            if self.on_wire is not None:
+                self.on_wire(len(chunk), 0)
+            self._queue.extend(self.decoder.feed(chunk))
+        record = self._queue.pop(0)
+        if self.on_wire is not None:
+            self.on_wire(0, 1)
+        return record
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass

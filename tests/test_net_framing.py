@@ -1,0 +1,241 @@
+"""Stream framing: length-prefixed records over arbitrary chunkings.
+
+The service transport rides on :mod:`repro.net.framing`.  These tests
+exercise the two halves of the stream contract — partial reads and
+coalesced reads — over synthetic buffers *and* a real ``socketpair``,
+plus the guard rails (``MAX_RECORD_BYTES``, corrupt bodies) and the
+payload codec's round-trip through the canonical byte encodings.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.net.framing import (
+    LENGTH_PREFIX,
+    MAX_RECORD_BYTES,
+    FramingError,
+    NeedMoreData,
+    StreamDecoder,
+    decode_payload,
+    decode_record,
+    encode_payload,
+    encode_record,
+    iter_records,
+)
+from repro.net.message import (
+    PredicateChallenge,
+    PredicateReply,
+    ReadingMessage,
+    SynopsisBundle,
+    TreeBeacon,
+    VetoMessage,
+)
+from repro.service.wire import RecordChannel
+
+RECORDS = [
+    ("hello", 1, b"\x00\xff", True, None),
+    ("tick", 7),
+    ("nested", (1, (2, b"x"), "y"), 3.5),
+]
+
+
+# ----------------------------------------------------------------------
+# Record encode/decode
+# ----------------------------------------------------------------------
+def test_record_round_trip():
+    for parts in RECORDS:
+        decoded, end = decode_record(encode_record(*parts))
+        assert decoded == parts
+        assert end == len(encode_record(*parts))
+
+
+def test_every_truncation_raises_need_more_data():
+    data = encode_record(*RECORDS[0])
+    for cut in range(len(data)):
+        with pytest.raises(NeedMoreData):
+            decode_record(data[:cut])
+
+
+def test_need_more_data_is_not_a_framing_error():
+    # Callers distinguish "read more" from "corrupt stream".
+    assert not issubclass(NeedMoreData, FramingError)
+
+
+def test_declared_length_beyond_bound_is_rejected():
+    header = LENGTH_PREFIX.pack(MAX_RECORD_BYTES + 1)
+    with pytest.raises(FramingError):
+        decode_record(header + b"\x00" * 16)
+
+
+def test_oversize_record_refused_at_encode_time():
+    with pytest.raises(FramingError):
+        encode_record(b"\x00" * (MAX_RECORD_BYTES + 1))
+
+
+def test_corrupt_body_is_a_framing_error():
+    body = b"\x9f\x9f\x9f\x9f"
+    with pytest.raises(FramingError):
+        decode_record(LENGTH_PREFIX.pack(len(body)) + body)
+
+
+def test_iter_records_decodes_back_to_back_buffer():
+    buffer = b"".join(encode_record(*parts) for parts in RECORDS)
+    assert list(iter_records(buffer)) == RECORDS
+
+
+# ----------------------------------------------------------------------
+# Incremental decoding
+# ----------------------------------------------------------------------
+def test_stream_decoder_byte_at_a_time():
+    data = b"".join(encode_record(*parts) for parts in RECORDS)
+    decoder = StreamDecoder()
+    out = []
+    for index in range(len(data)):
+        out.extend(decoder.feed(data[index : index + 1]))
+    assert out == RECORDS
+    assert decoder.pending_bytes == 0
+
+
+def test_stream_decoder_coalesced_feed_returns_many():
+    data = b"".join(encode_record(*parts) for parts in RECORDS)
+    decoder = StreamDecoder()
+    assert decoder.feed(data) == RECORDS
+
+
+def test_stream_decoder_pending_bytes_tracks_partial_tail():
+    whole = encode_record(*RECORDS[0])
+    partial = encode_record(*RECORDS[1])
+    decoder = StreamDecoder()
+    records = decoder.feed(whole + partial[:3])
+    assert records == [RECORDS[0]]
+    assert decoder.pending_bytes == 3
+    assert decoder.feed(partial[3:]) == [RECORDS[1]]
+    assert decoder.pending_bytes == 0
+
+
+def test_stream_decoder_split_across_every_boundary():
+    data = b"".join(encode_record(*parts) for parts in RECORDS)
+    for cut in range(1, len(data)):
+        decoder = StreamDecoder()
+        out = decoder.feed(data[:cut]) + decoder.feed(data[cut:])
+        assert out == RECORDS, f"chunk boundary at byte {cut}"
+
+
+# ----------------------------------------------------------------------
+# A real socket: the chunking the kernel actually produces
+# ----------------------------------------------------------------------
+def test_records_survive_a_real_socketpair_in_tiny_chunks():
+    left, right = socket.socketpair()
+    try:
+        payload = b"".join(encode_record(*parts) for parts in RECORDS) * 20
+        expected = RECORDS * 20
+
+        def drip():
+            for index in range(0, len(payload), 5):
+                left.sendall(payload[index : index + 5])
+            left.shutdown(socket.SHUT_WR)
+
+        writer = threading.Thread(target=drip)
+        writer.start()
+        decoder = StreamDecoder()
+        received = []
+        while True:
+            chunk = right.recv(4096)
+            if not chunk:
+                break
+            received.extend(decoder.feed(chunk))
+        writer.join()
+        assert received == expected
+        assert decoder.pending_bytes == 0
+    finally:
+        left.close()
+        right.close()
+
+
+def test_record_channel_request_reply_over_socketpair():
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    server = RecordChannel(right, timeout=10.0)
+    try:
+        client.send("ping", 42)
+        assert server.recv() == ("ping", 42)
+        server.send("pong", 43)
+        assert client.recv() == ("pong", 43)
+    finally:
+        client.close()
+        server.close()
+
+
+def test_record_channel_error_record_raises():
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    server = RecordChannel(right, timeout=10.0)
+    try:
+        server.send("error", "replica exploded")
+        with pytest.raises(ServiceError, match="replica exploded"):
+            client.recv()
+    finally:
+        client.close()
+        server.close()
+
+
+def test_record_channel_peer_close_raises_service_error():
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    try:
+        right.close()
+        with pytest.raises(ServiceError, match="closed by peer"):
+            client.recv()
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Payload codec: invert canonical_bytes for every protocol payload
+# ----------------------------------------------------------------------
+PAYLOADS = [
+    ReadingMessage(sensor_id=3, value=1.25, mac=b"\x01" * 8, instance=2),
+    VetoMessage(sensor_id=5, value=9.0, level=2, mac=b"\x02" * 8, instance=1),
+    TreeBeacon(origin=0, hop_count=4),
+    PredicateChallenge(
+        key_ref=("pool", 17),
+        predicate_bytes=b"pred",
+        nonce=b"n" * 8,
+        reply_hash=b"h" * 16,
+    ),
+    PredicateReply(mac=b"\x03" * 8),
+    SynopsisBundle(
+        messages=(
+            ReadingMessage(sensor_id=1, value=0.5, mac=b"a" * 8),
+            ReadingMessage(sensor_id=2, value=0.75, mac=b"b" * 8, instance=3),
+        )
+    ),
+]
+
+
+@pytest.mark.parametrize("payload", PAYLOADS, ids=lambda p: type(p).__name__)
+def test_payload_codec_round_trip(payload):
+    decoded = decode_payload(encode_payload(payload))
+    assert decoded == payload
+    assert encode_payload(decoded) == encode_payload(payload)
+
+
+def test_unknown_payload_tag_rejected():
+    from repro.crypto.encoding import encode_parts
+
+    with pytest.raises(FramingError, match="unknown payload tag"):
+        decode_payload(encode_parts("no-such-payload", 1))
+
+
+def test_bundle_may_only_carry_readings():
+    from repro.crypto.encoding import encode_parts
+
+    veto = VetoMessage(sensor_id=5, value=9.0, level=2, mac=b"\x02" * 8)
+    data = encode_parts("bundle", veto.canonical_bytes())
+    with pytest.raises(FramingError):
+        decode_payload(data)
