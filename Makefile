@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-scale report examples figures service-smoke all clean
+.PHONY: install test bench bench-scale report examples figures service-smoke service-chaos all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -34,6 +34,24 @@ service-smoke:
 	$(PYTHON) -m repro service run --nodes 25 --processes 2 --seed 0 \
 		--compromised 5 --theta 6 --attack spurious-veto --check-equivalence
 	rm -f .service-smoke-plan.json
+
+# Resilience gate (docs/SERVICE.md, "Failure semantics"): the seeded
+# chaos harness — SIGKILL mid-session, host restart with journal
+# replay — must be deterministic end to end.  Two runs of the same
+# plan emit their canonical outcome documents, diffed at zero
+# tolerance; a third run exercises hung-host (SIGSTOP) detection.
+service-chaos:
+	$(PYTHON) -m repro service chaos --nodes 8 --processes 2 --seed 3 \
+		--detection-window 2 --heartbeat-interval 0.2 --restart-budget 2 \
+		--profile kill --chaos-seed 1 --output .chaos-a.json
+	$(PYTHON) -m repro service chaos --nodes 8 --processes 2 --seed 3 \
+		--detection-window 2 --heartbeat-interval 0.2 --restart-budget 2 \
+		--profile kill --chaos-seed 1 --output .chaos-b.json
+	diff .chaos-a.json .chaos-b.json
+	$(PYTHON) -m repro service chaos --nodes 8 --processes 2 --seed 3 \
+		--detection-window 2 --heartbeat-interval 0.2 --restart-budget 2 \
+		--profile stop --chaos-seed 1
+	rm -f .chaos-a.json .chaos-b.json
 
 examples:
 	@for script in examples/*.py; do \

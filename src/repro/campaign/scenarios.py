@@ -352,3 +352,139 @@ def service_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
         "net_total_messages": summary["total_messages"],
         "net_total_bytes": summary["total_bytes"],
     }
+
+
+@scenario(
+    "service-chaos",
+    description=(
+        "Service-runtime resilience under injected failures: kill timing x "
+        "restart budget x connect flakiness, with in-cell equivalence "
+        "(within budget) and benign-degradation gates (past budget)"
+    ),
+    grid={
+        "nodes": (25,),
+        "processes": (2,),
+        "kill_interval": (3, 7),
+        "budget": (0, 1),
+        "refuse": (0, 1),
+    },
+    reduced_grid={
+        "nodes": (25,),
+        "processes": (2,),
+        "kill_interval": (3,),
+        "budget": (0, 1),
+        "refuse": (1,),
+    },
+)
+def service_chaos_scenario(params: Mapping[str, Any], seed: int) -> Dict[str, float]:
+    """One attacked service session with a host killed mid-session.
+
+    Host 0 is SIGKILLed just before the tick of ``kill_interval``;
+    ``refuse=1`` additionally makes its first control connect flaky (one
+    synthetic refusal, retried on the seeded backoff schedule).  The
+    resilience contract is enforced *inside* the cell:
+
+    * ``budget >= 1`` — the session must match the in-process simulator
+      bit-for-bit (estimate, outcomes, revocation set, protocol metrics):
+      journal-replay recovery is invisible at the protocol level.
+    * ``budget == 0`` — the host is degraded to benign crash faults; the
+      session must complete INCONCLUSIVE with *zero* revocations and
+      honest-node-safety intact (process failure is never malicious).
+
+    The protocol seed is pinned (not the campaign cell seed): θ=6 is a
+    fast-cascade setting calibrated for this topology seed.  At an
+    arbitrary seed a low θ can mis-revoke an honest sensor through
+    adversary-shared ring keys — the paper's §VI-C/Figure 7 phenomenon,
+    which the fig7 scenario measures on purpose — and that would trip
+    this cell's honest-node-safety gate for reasons unrelated to
+    resilience.  Every returned number is deterministic in (params), so
+    the campaign store's regression comparison gates this scenario at
+    zero tolerance.
+    """
+    from ..errors import ReproError
+    from ..service import (
+        ChaosPlan,
+        KillHost,
+        RefuseConnect,
+        ServiceSpec,
+        run_chaos,
+        run_sim_session,
+        strip_runtime_metrics,
+    )
+
+    del seed  # see docstring: θ=6 is calibrated for the pinned seed
+    budget = int(params["budget"])
+    spec = ServiceSpec(
+        num_nodes=int(params["nodes"]),
+        processes=int(params["processes"]),
+        seed=0,
+        malicious_ids=(5,),
+        theta=6,
+        detection_window_s=2.0,
+        heartbeat_interval_s=0.2,
+        retry_base_s=0.02,
+        retry_max_s=0.1,
+        peer_ack_timeout_s=0.5,
+        restart_budget=budget,
+    )
+    refusals = ()
+    if int(params["refuse"]):
+        refusals = (RefuseConnect(host=0, incarnation=1, attempts=1),)
+    plan = ChaosPlan(
+        name=f"campaign-k{params['kill_interval']}-b{budget}",
+        kills=(KillHost(host=0, interval=int(params["kill_interval"])),),
+        refusals=refusals,
+    )
+    report = run_chaos(spec, plan, attack="spurious-veto")
+    outcome = report.outcome
+    if not report.safe:
+        raise ReproError(
+            "honest-node-safety violated under chaos: "
+            + "; ".join(report.safety_violations)
+        )
+
+    equivalence_checked = 0.0
+    if budget >= 1:
+        sim = run_sim_session(spec, attack="spurious-veto")
+        diffs = []
+        if outcome["estimate"] != sim.estimate:
+            diffs.append(f"estimate {outcome['estimate']} != {sim.estimate}")
+        if outcome["outcomes"] != sim.outcomes:
+            diffs.append(f"outcomes {outcome['outcomes']} != {sim.outcomes}")
+        if outcome["revocations"] != [list(r) for r in sim.revocations]:
+            diffs.append("revocation sets differ")
+        sim_metrics = strip_runtime_metrics(sim.metrics.to_dict())
+        if outcome["metrics"] != sim_metrics:
+            diffs.append("protocol metrics differ")
+        if diffs:
+            raise ReproError(
+                "kill+restart session diverged from the simulator: "
+                + "; ".join(diffs)
+            )
+        equivalence_checked = 1.0
+    else:
+        if outcome["degraded_hosts"] != [0]:
+            raise ReproError(
+                f"expected host 0 degraded, got {outcome['degraded_hosts']}"
+            )
+        if outcome["outcomes"][-1] != "inconclusive":
+            raise ReproError(
+                "past-budget session must end inconclusive, got "
+                f"{outcome['outcomes']}"
+            )
+        if outcome["revocations"]:
+            raise ReproError(
+                f"benign degradation revoked {outcome['revocations']}"
+            )
+
+    return {
+        "estimate": (
+            float(outcome["estimate"]) if outcome["estimate"] is not None else -1.0
+        ),
+        "executions": float(outcome["num_executions"]),
+        "revocations": float(len(outcome["revocations"])),
+        "restarts": float(sum(outcome["restarts"].values())),
+        "degraded_hosts": float(len(outcome["degraded_hosts"])),
+        "safety_ok": 1.0,  # enforced above; kept for regression diffs
+        "equivalence_checked": equivalence_checked,
+    }

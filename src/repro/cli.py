@@ -822,6 +822,10 @@ def _service_spec_from_args(args):
         fault_plan=fault_plan,
         fault_seed=args.fault_seed,
         metrics_dir=args.metrics_dir,
+        control_timeout_s=args.control_timeout,
+        detection_window_s=args.detection_window,
+        heartbeat_interval_s=args.heartbeat_interval,
+        restart_budget=args.restart_budget,
     )
 
 
@@ -902,6 +906,52 @@ def cmd_service_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_service_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .service import ChaosPlan, run_chaos, seeded_chaos_plan
+
+    try:
+        spec = _service_spec_from_args(args)
+        if args.plan:
+            with open(args.plan) as handle:
+                plan = ChaosPlan.from_dict(json.load(handle))
+        else:
+            plan = seeded_chaos_plan(
+                spec, seed=args.chaos_seed, profile=args.profile
+            )
+        report = run_chaos(
+            spec, plan, query_name=args.query, attack=args.attack,
+            max_executions=args.max_executions,
+        )
+    except ReproError as exc:
+        print(f"SERVICE CHAOS FAILED  {exc}")
+        return 1
+
+    outcome = report.outcome
+    print(f"\n=== service chaos: plan {plan.name!r} over "
+          f"{spec.processes} host process(es) ===")
+    print(f"schedule: {len(plan.kills)} kill(s), {len(plan.resets)} reset(s), "
+          f"{len(plan.refusals)} refusal(s)")
+    print(f"estimate: {outcome['estimate']}   "
+          f"outcomes: {', '.join(outcome['outcomes'])}")
+    print(f"restarts: {outcome['restarts'] or 'none'}   "
+          f"degraded hosts: {outcome['degraded_hosts'] or 'none'}")
+    for item in outcome["retry_trace"]:
+        print(f"  trace: {' '.join(str(part) for part in item)}")
+    safety = outcome["honest_node_safety"]
+    print(f"honest-node-safety: {'ok' if safety['ok'] else 'VIOLATED'}")
+    for violation in safety["violations"]:
+        print(f"  ! {violation}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(outcome, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if report.safe else 1
+
+
 def cmd_service_node(args: argparse.Namespace) -> int:
     from .errors import ReproError
     from .service import ServiceSpec, run_node_host
@@ -942,6 +992,18 @@ def _add_service_parser(sub) -> None:
         p.add_argument("--fault-seed", type=int, default=0)
         p.add_argument("--metrics-dir", type=str, default=None,
                        help="hosts flush metrics JSON here on shutdown/SIGTERM")
+        p.add_argument("--control-timeout", type=float, default=60.0,
+                       help="end-to-end control exchange timeout, seconds "
+                            "(env override: REPRO_SERVICE_TIMEOUT)")
+        p.add_argument("--detection-window", type=float, default=10.0,
+                       help="heartbeat silence that declares a host "
+                            "unresponsive, seconds")
+        p.add_argument("--heartbeat-interval", type=float, default=0.5,
+                       help="host keep-alive period on the control channel, "
+                            "seconds")
+        p.add_argument("--restart-budget", type=int, default=1,
+                       help="restarts allowed per host before it is degraded "
+                            "to benign crash faults")
 
     p = ssub.add_parser(
         "run", help="launch a loopback deployment and run one query session"
@@ -967,6 +1029,29 @@ def _add_service_parser(sub) -> None:
     p.add_argument("--out", type=str, default="deploy",
                    help="output directory (default deploy/)")
     p.set_defaults(func=cmd_service_generate)
+
+    p = ssub.add_parser(
+        "chaos",
+        help="inject seeded process/transport failures into a session and "
+             "check the resilience contract (docs/SERVICE.md)",
+    )
+    spec_args(p)
+    p.add_argument("--query", choices=["min", "max"], default="min")
+    p.add_argument("--attack",
+                   choices=["drop", "hide", "junk", "spurious-veto"],
+                   default=None)
+    p.add_argument("--max-executions", type=int, default=50)
+    p.add_argument("--profile",
+                   choices=["kill", "stop", "reset", "flaky", "mixed"],
+                   default="kill",
+                   help="failure family the seeded plan draws from")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="plan derivation seed (same seed => same plan)")
+    p.add_argument("--plan", type=str, default=None,
+                   help="ChaosPlan JSON file (overrides --profile/--chaos-seed)")
+    p.add_argument("--output", type=str, default=None,
+                   help="write the canonical outcome JSON here (CI diffs it)")
+    p.set_defaults(func=cmd_service_chaos)
 
     p = ssub.add_parser(
         "node",

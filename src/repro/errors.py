@@ -75,3 +75,19 @@ class SimulationError(ReproError):
 class ServiceError(ReproError):
     """The service runtime failed: a node-host process died, timed out,
     reported an error, or a wire frame failed its canonical-bytes check."""
+
+
+class HostChannelError(ServiceError):
+    """The control channel to one node host failed at the socket or
+    framing layer (reset, EOF, corrupt stream, child exit).
+
+    Distinct from a host *reporting* an error record (a logic bug, which
+    stays a plain :class:`ServiceError`): a channel-level failure is the
+    recoverable kind — the resilience layer responds by restarting the
+    host and replaying the control journal, never by retrying protocol
+    logic blindly."""
+
+
+class HostUnresponsiveError(HostChannelError):
+    """A node host went silent past the detection window (hung or
+    stopped process): no reply, no heartbeat, but the socket is open."""

@@ -86,6 +86,26 @@ class FaultInjector:
         if global_interval > self.now:
             self.now = global_interval
 
+    def extend_events(self, new_events) -> None:
+        """Append fault events to the live plan (service degradation path).
+
+        The service runtime maps a node host that died past its restart
+        budget onto synthesized :class:`~repro.faults.plan.NodeCrash`
+        events for its hosted sensors, mid-session.  Appending preserves
+        the positions of existing events, so activation accounting
+        (``_activated`` is keyed by position) stays valid.  The plan
+        *content* changes, which would re-derive the per-frame RNG stream
+        identity — but the kinds that consume that stream (burst-loss,
+        duplicate) are exactly the kinds the service spec rejects, and
+        this method exists for the service path; the already-constructed
+        ``self.rng`` is deliberately left untouched.
+        """
+        import dataclasses
+
+        self.plan = dataclasses.replace(
+            self.plan, events=tuple(self.plan.events) + tuple(new_events)
+        )
+
     # ------------------------------------------------------------------
     # Hook: slotted interval boundary
     # ------------------------------------------------------------------

@@ -55,6 +55,13 @@ class Metrics:
     wall_clock: Dict[str, List[float]] = field(default_factory=dict)
     wire_bytes: int = 0
     wire_frames: int = 0
+    # Host-level reliability accounting (repro.service.resilience).
+    # Counts lifecycle events per node-host process, keyed as
+    # "host-<index>.<event>": restarts, degradations, retry attempts
+    # ("retry:control-connect", "retry:peer-send"), undeliverable peer
+    # batches, and final exit codes ("exit:0").  Runtime-only: stripped
+    # by the simulator-equivalence gate like wall_clock/wire_*.
+    host_events: Counter = field(default_factory=Counter)
 
     # ------------------------------------------------------------------
     # Recording
@@ -112,6 +119,10 @@ class Metrics:
         self.wire_bytes += num_bytes
         self.wire_frames += frames
 
+    def record_host_event(self, event: str, count: int = 1) -> None:
+        """One host-lifecycle event, e.g. ``"host-1.restart"`` (service)."""
+        self.host_events[event] += count
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -167,6 +178,7 @@ class Metrics:
             self.wall_clock.setdefault(label, []).extend(samples)
         self.wire_bytes += other.wire_bytes
         self.wire_frames += other.wire_frames
+        self.host_events.update(other.host_events)
 
     # ------------------------------------------------------------------
     # Serialization (lossless, JSON-ready)
@@ -203,6 +215,10 @@ class Metrics:
         if self.wire_bytes or self.wire_frames:
             data["wire_bytes"] = self.wire_bytes
             data["wire_frames"] = self.wire_frames
+        if self.host_events:
+            data["host_events"] = {
+                str(k): int(v) for k, v in sorted(self.host_events.items())
+            }
         return data
 
     @classmethod
@@ -234,6 +250,9 @@ class Metrics:
             },
             wire_bytes=int(data.get("wire_bytes", 0)),
             wire_frames=int(data.get("wire_frames", 0)),
+            host_events=Counter(
+                {str(k): int(v) for k, v in data.get("host_events", {}).items()}
+            ),
         )
 
     def summary(self) -> Dict[str, float]:
@@ -257,6 +276,11 @@ class Metrics:
         if self.wire_bytes or self.wire_frames:
             result["wire_bytes"] = float(self.wire_bytes)
             result["wire_frames"] = float(self.wire_frames)
+        if self.host_events:
+            result["host_events"] = float(sum(self.host_events.values()))
+            result["host_restarts"] = float(
+                sum(v for k, v in self.host_events.items() if k.endswith(".restart"))
+            )
         return result
 
 

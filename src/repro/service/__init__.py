@@ -19,8 +19,19 @@ Entry points:
 See docs/SERVICE.md for the architecture and the transport contract.
 """
 
+from .chaos import (
+    ChaosController,
+    ChaosPlan,
+    ChaosReport,
+    KillHost,
+    RefuseConnect,
+    ResetControl,
+    run_chaos,
+    seeded_chaos_plan,
+)
 from .generate import generate_deployment
 from .node import NodeHost, run_node_host
+from .resilience import ControlTimeouts, JournalEntry, RetryPolicy
 from .runtime import (
     ATTACKS,
     EquivalenceReport,
@@ -38,9 +49,18 @@ from .wire import RecordChannel
 
 __all__ = [
     "ATTACKS",
+    "ChaosController",
+    "ChaosPlan",
+    "ChaosReport",
+    "ControlTimeouts",
     "EquivalenceReport",
+    "JournalEntry",
+    "KillHost",
     "NodeHost",
     "RecordChannel",
+    "RefuseConnect",
+    "ResetControl",
+    "RetryPolicy",
     "ServiceRunResult",
     "ServiceRuntime",
     "ServiceSpec",
@@ -49,9 +69,11 @@ __all__ = [
     "UNSUPPORTED_FAULT_KINDS",
     "default_readings",
     "generate_deployment",
+    "run_chaos",
     "run_equivalence",
     "run_node_host",
     "run_service_session",
     "run_sim_session",
+    "seeded_chaos_plan",
     "strip_runtime_metrics",
 ]

@@ -47,7 +47,15 @@ from ..core.tree import _accept_hopcount, _accept_timestamp
 from ..crypto.hash import oneway_hash
 from ..errors import ConfigError, ServiceError
 from ..faults import FaultInjector
+from ..faults.plan import FaultPlan, NodeCrash
 from ..net.message import PredicateReply, TreeBeacon
+from .resilience import (
+    CHAOS_REFUSE_ENV,
+    DEGRADE_HORIZON,
+    ControlTimeouts,
+    RetryPolicy,
+    control_timeout,
+)
 from .spec import METRICS_DIR_ENV, ServiceSpec
 from .wire import AsyncRecordStream, delivery_envelope, ingest_envelope
 
@@ -73,7 +81,7 @@ class ReplicaTransport:
     reproducing the simulator's chronological inbox order.
     """
 
-    __slots__ = ("host", "phase", "_buckets", "_seq")
+    __slots__ = ("host", "phase", "_buckets", "_seq", "_ingested")
 
     def __init__(self, host: "NodeHost", phase) -> None:
         self.host = host
@@ -81,6 +89,13 @@ class ReplicaTransport:
         # interval -> receiver -> [(sort_key, delivery)]
         self._buckets: Dict[int, Dict[int, List[tuple]]] = {}
         self._seq = 0
+        # Envelopes already ingested this phase.  A full envelope tuple is
+        # globally unique (band-1 frames carry the sending host's monotone
+        # per-phase sequence), so dropping exact repeats makes every
+        # recovery path idempotent: a restarted host's catch-up re-ships
+        # the same batches its dead incarnation may have partially
+        # delivered, and receivers keep exactly one copy.
+        self._ingested: set = set()
 
     def deposit(self, interval, receiver, delivery) -> None:
         host = self.host
@@ -99,12 +114,15 @@ class ReplicaTransport:
         # up-report above is their delivery.
 
     def ingest(self, env) -> None:
+        if env in self._ingested:
+            return
         interval, receiver, key, delivery = ingest_envelope(self.phase, env)
         if receiver not in self.host.hosted_set:
             raise ServiceError(
                 f"host {self.host.host_index} received a frame for "
                 f"non-hosted sensor {receiver}"
             )
+        self._ingested.add(env)
         bucket = self._buckets.setdefault(interval, {}).setdefault(receiver, [])
         bucket.append((key, delivery))
 
@@ -149,10 +167,14 @@ class NodeHost:
         self.peer_outbox: Dict[int, List[tuple]] = {}
         self.peer_ports: Tuple[int, ...] = ()
         self._peer_streams: Dict[int, AsyncRecordStream] = {}
+        self._batch_counter: Dict[int, int] = {}  # retry-schedule identity
         self._ctx: Dict[str, object] = {}
         self._phase_kind: Optional[str] = None
         self.own_messages: Dict[int, list] = {}
         self._stopping = False
+        self.timeouts = ControlTimeouts.from_spec(spec)
+        self.retry = RetryPolicy.from_spec(spec)
+        self._hb_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Wire accounting (merged into the coordinator's metrics at shutdown)
@@ -175,8 +197,12 @@ class NodeHost:
         loop.add_signal_handler(signal.SIGTERM, self._on_sigterm, main_task)
         try:
             await control.send("hello", self.host_index, peer_port)
+            self._hb_task = asyncio.create_task(self._heartbeat(control))
             while True:
-                record = await control.recv()
+                try:
+                    record = await control.recv()
+                except (ConnectionError, OSError):
+                    break  # coordinator gone (or chaos reset): exit cleanly
                 if record is None or self._stopping:
                     break
                 try:
@@ -185,13 +211,18 @@ class NodeHost:
                     raise
                 except Exception as exc:  # reported, not fatal to the wire
                     reply = ("error", f"{type(exc).__name__}: {exc}")
-                await control.send(*reply)
+                try:
+                    await control.send(*reply)
+                except (ConnectionError, OSError):
+                    break
                 if record[0] == "shutdown":
                     break
         except asyncio.CancelledError:
             pass  # SIGTERM: fall through to the flush below
         finally:
             loop.remove_signal_handler(signal.SIGTERM)
+            if self._hb_task is not None:
+                self._hb_task.cancel()
             # The host is exiting either way now; a supervisor SIGTERM
             # racing this teardown must not turn a clean exit into -15.
             signal.signal(signal.SIGTERM, signal.SIG_IGN)
@@ -202,27 +233,55 @@ class NodeHost:
             server.close()
             await server.wait_closed()
 
+    async def _heartbeat(self, control: AsyncRecordStream) -> None:
+        """Periodic liveness keep-alive on the control channel.
+
+        Heartbeats flow whenever the event loop is free — between
+        dispatches and during retry sleeps — so the coordinator's
+        detection window distinguishes "busy or waiting" (heartbeats
+        arriving) from "hung or stopped" (total silence)."""
+        try:
+            while True:
+                await asyncio.sleep(self.timeouts.heartbeat_interval)
+                await control.send("hb")
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass  # channel gone or host exiting; the main loop owns that
+
     async def _connect_control(self):
         """Dial the coordinator, retrying while it is still coming up.
 
         In loopback runs the coordinator listens before spawning hosts,
         so the first attempt succeeds; under an external supervisor
-        (compose) start order is arbitrary and hosts must wait.
+        (compose) start order is arbitrary and hosts must wait.  The
+        first ``retry_attempts`` tries follow the seed-derived backoff
+        schedule (so induced failures produce identical retry traces);
+        past the schedule the host keeps polling at ``retry_max_s`` until
+        the control timeout expires.  The chaos harness injects
+        connection refusals via ``REPRO_SERVICE_CHAOS_REFUSE``.
         """
-        from .wire import control_timeout
-
         spec = self.spec
-        deadline = asyncio.get_running_loop().time() + control_timeout()
+        refuse = int(os.environ.get(CHAOS_REFUSE_ENV, "0"))
+        delays = self.retry.schedule("control-connect", self.host_index)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + control_timeout(spec)
+        attempt = 0
         while True:
             try:
+                if attempt < refuse:
+                    raise ConnectionRefusedError("chaos: synthetic refusal")
                 return await asyncio.open_connection(spec.host, spec.control_port)
             except OSError:
-                if asyncio.get_running_loop().time() >= deadline:
+                self.network.metrics.record_host_event(
+                    f"host-{self.host_index}.retry:control-connect"
+                )
+                if loop.time() >= deadline:
                     raise ServiceError(
                         f"coordinator at {spec.host}:{spec.control_port} "
                         "unreachable within the control timeout"
                     ) from None
-                await asyncio.sleep(0.2)
+                delay = delays[attempt] if attempt < len(delays) else self.retry.max_delay
+                attempt += 1
+                await asyncio.sleep(delay)
 
     def _on_sigterm(self, main_task) -> None:
         self._stopping = True
@@ -261,6 +320,8 @@ class NodeHost:
                 await stream.send("ack")
         except asyncio.CancelledError:
             pass  # loop teardown on host exit; ending quietly is correct
+        except (ConnectionError, OSError):
+            pass  # peer died mid-stream (chaos/restart); it will redial
         finally:
             stream.close()
 
@@ -274,6 +335,62 @@ class NodeHost:
             self._peer_streams[peer_index] = stream
         return stream
 
+    def _drop_peer_stream(self, peer_index: int) -> None:
+        stream = self._peer_streams.pop(peer_index, None)
+        if stream is not None:
+            stream.close()
+
+    async def _ship_frames(self, peer_index: int, envelopes: tuple) -> bool:
+        """Ship one frame batch to a peer host, with seeded retry.
+
+        Each attempt is dial + send + bounded ack wait (a stopped peer
+        accepts connections but never acks, so the wait must be bounded).
+        After a failed attempt the cached stream is dropped — a late ack
+        from it must not be mistaken for a later batch's.  A batch that
+        exhausts its schedule is *dropped*, not fatal: every frame is
+        also mirrored up to the coordinator, which re-delivers it to a
+        restarted receiver during catch-up; a receiver that never
+        restarts is on its way to degradation anyway.
+        """
+        dial_seq = self._batch_counter[peer_index] = (
+            self._batch_counter.get(peer_index, 0) + 1
+        )
+        delays = (0.0,) + self.retry.schedule(
+            "peer-send", self.host_index, peer_index, dial_seq
+        )
+        for attempt, delay in enumerate(delays):
+            if delay:
+                await asyncio.sleep(delay)
+            if attempt:
+                self.network.metrics.record_host_event(
+                    f"host-{self.host_index}.retry:peer-send"
+                )
+            try:
+                stream = await self._peer_stream(peer_index)
+                await stream.send("frames", envelopes)
+                ack = await asyncio.wait_for(
+                    stream.recv(), timeout=self.spec.peer_ack_timeout_s
+                )
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                self._drop_peer_stream(peer_index)
+                continue
+            if ack is None:
+                self._drop_peer_stream(peer_index)
+                continue
+            if ack[0] != "ack":
+                raise ServiceError(f"peer {peer_index} sent {ack[0]!r}, not ack")
+            return True
+        self.network.metrics.record_host_event(
+            f"host-{self.host_index}.peer-undeliverable"
+        )
+        return False
+
+    async def _flush_peer_outbox(self) -> None:
+        for peer_index, envelopes in sorted(self.peer_outbox.items()):
+            if envelopes:
+                await self._ship_frames(peer_index, tuple(envelopes))
+        self.peer_outbox = {}
+
     # ------------------------------------------------------------------
     # Control dispatch
     # ------------------------------------------------------------------
@@ -281,8 +398,14 @@ class NodeHost:
         kind = record[0]
         if kind == "tick":
             return await self._handle_tick(record[1])
+        if kind == "replay-tick":
+            return self._handle_replay_tick(record[1], record[2])
+        if kind == "catchup-tick":
+            return await self._handle_catchup_tick(record[1], record[2])
         if kind == "deliver":
             return self._handle_deliver(record[1], record[2])
+        if kind == "degrade":
+            return self._handle_degrade(record[1], record[2])
         if kind == "phase-begin":
             return self._handle_phase_begin(record)
         if kind == "phase-end":
@@ -310,7 +433,13 @@ class NodeHost:
                 raise ServiceError(f"unknown revocation kind {what!r}")
             return ("ok",)
         if kind == "peers":
+            # Port table refresh.  A restarted peer listens on a fresh
+            # ephemeral port, so cached streams are stale: drop them and
+            # re-dial lazily on the next ship.
             self.peer_ports = tuple(record[1])
+            for stream in self._peer_streams.values():
+                stream.close()
+            self._peer_streams = {}
             return ("ok",)
         if kind == "shutdown":
             return ("metrics", json.dumps(self.network.metrics.to_dict()))
@@ -455,18 +584,80 @@ class NodeHost:
             raise ServiceError("tick outside any phase")
         phase.begin_interval(k)
         self._exec_tick(k)
-        for peer_index, envelopes in sorted(self.peer_outbox.items()):
-            if not envelopes:
-                continue
-            stream = await self._peer_stream(peer_index)
-            await stream.send("frames", tuple(envelopes))
-            ack = await stream.recv()
-            if ack is None or ack[0] != "ack":
-                raise ServiceError(f"peer {peer_index} failed to ack frames")
-            self.peer_outbox[peer_index] = []
+        await self._flush_peer_outbox()
         up = tuple(self.up_outbox)
         self.up_outbox = []
         return ("tick-done", up)
+
+    def _handle_replay_tick(self, k: int, foreign) -> tuple:
+        """Re-execute an already-completed tick during journal replay.
+
+        The hosted sends are recomputed (rebuilding local buckets,
+        sequence counters, metrics and per-phase context exactly), but
+        nothing leaves the process: the coordinator's mirror already has
+        the up-frames and the peers already received their batches.
+        ``foreign`` re-delivers the frames other hosts shipped to this
+        one for interval ``k``.
+        """
+        phase = self.phase
+        if phase is None:
+            raise ServiceError("replay-tick outside any phase")
+        phase.begin_interval(k)
+        self._exec_tick(k)
+        self.peer_outbox = {}
+        self.up_outbox = []
+        transport = self.transport
+        assert transport is not None
+        for env in foreign:
+            transport.ingest(env)
+        return ("ok",)
+
+    async def _handle_catchup_tick(self, k: int, foreign) -> tuple:
+        """Execute the in-flight tick live after a restart.
+
+        Like a normal tick — peer batches *are* shipped, because the
+        dead incarnation may have died before delivering them (receivers
+        drop exact repeats, so partial prior delivery is harmless) — but
+        the frames other hosts already reported for this interval arrive
+        as ``foreign`` instead of over peer sockets.
+        """
+        phase = self.phase
+        if phase is None:
+            raise ServiceError("catchup-tick outside any phase")
+        phase.begin_interval(k)
+        self._exec_tick(k)
+        await self._flush_peer_outbox()
+        transport = self.transport
+        assert transport is not None
+        for env in foreign:
+            transport.ingest(env)
+        up = tuple(self.up_outbox)
+        self.up_outbox = []
+        return ("tick-done", up)
+
+    def _handle_degrade(self, now: int, crashed_ids) -> tuple:
+        """Map a dead host's sensors onto synthesized crash faults.
+
+        Mirrors what the coordinator did locally: from global interval
+        ``now`` (the coordinator's clock — replicas track their own copy
+        but the record carries the authoritative value) the dead host's
+        sensors are benign-crashed to the horizon, and the presence of a
+        fault injector flips pinpointing into benign mode everywhere.
+        """
+        events = tuple(
+            NodeCrash(start=max(1, int(now)), end=DEGRADE_HORIZON, node=int(s))
+            for s in crashed_ids
+        )
+        injector = self.network.fault_injector
+        if injector is None:
+            injector = FaultInjector(
+                FaultPlan(name="host-degradation", events=events),
+                seed=self.spec.fault_seed,
+            ).attach(self.network)
+        else:
+            injector.extend_events(events)
+        injector.advance_to(int(now))
+        return ("ok",)
 
     def _exec_tick(self, k: int) -> None:
         network, phase, ctx = self.network, self.phase, self._ctx

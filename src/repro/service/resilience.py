@@ -1,0 +1,165 @@
+"""Deterministic resilience primitives for the service runtime.
+
+Three small pieces, shared by the coordinator (``runtime.py``) and the
+node hosts (``node.py``):
+
+* :class:`ControlTimeouts` — the liveness parameters of the control
+  channel (end-to-end exchange timeout, heartbeat period, detection
+  window), resolved from a :class:`~repro.service.spec.ServiceSpec` with
+  environment overrides.
+
+* :class:`RetryPolicy` — bounded exponential backoff whose delays
+  (including jitter) are derived via :mod:`repro.seeding`, so two runs
+  with the same spec retry on *identical* schedules.  The schedule is a
+  pure function of ``(seed, identity parts)``; nothing about wall-clock
+  time or process state feeds it.
+
+* :class:`JournalEntry` — one entry of the coordinator's append-only
+  control journal.  The journal is the recovery substrate: a restarted
+  host rebuilds its replica from the spec, then replays the journal
+  prefix the dead incarnation had acknowledged, which (because every
+  control record drives a deterministic recomputation) reconstructs the
+  exact replica state the coordinator last observed.
+
+Environment overrides (both optional):
+
+``REPRO_SERVICE_TIMEOUT``
+    Overrides ``ServiceSpec.control_timeout_s`` (seconds).
+``REPRO_SERVICE_GRACE``
+    Overrides ``ServiceSpec.shutdown_grace_s`` (seconds).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..seeding import derive_rng
+
+TIMEOUT_ENV = "REPRO_SERVICE_TIMEOUT"
+GRACE_ENV = "REPRO_SERVICE_GRACE"
+
+#: Chaos-harness knob (set per spawned host process): the host's control
+#: connect raises a synthetic ``ConnectionRefusedError`` for its first N
+#: attempts.  Attempt-indexed, so the induced retry trace is a pure
+#: function of the chaos plan — no timing races.
+CHAOS_REFUSE_ENV = "REPRO_SERVICE_CHAOS_REFUSE"
+
+#: Synthesized crash events for a degraded host extend to this interval:
+#: effectively "forever" on the cumulative-interval axis, while staying a
+#: plain int the fault-plan JSON codec round-trips unchanged.
+DEGRADE_HORIZON = 2**31
+
+
+def control_timeout(spec=None) -> float:
+    """End-to-end timeout for one blocking control-channel exchange.
+
+    Resolution order: ``REPRO_SERVICE_TIMEOUT`` env var, then the spec's
+    ``control_timeout_s``, then 60 seconds.
+    """
+    env = os.environ.get(TIMEOUT_ENV)
+    if env is not None:
+        return float(env)
+    if spec is not None:
+        return float(spec.control_timeout_s)
+    return 60.0
+
+
+def shutdown_grace(spec=None) -> float:
+    """SIGTERM -> SIGKILL grace: ``REPRO_SERVICE_GRACE``, spec, else 5s."""
+    env = os.environ.get(GRACE_ENV)
+    if env is not None:
+        return float(env)
+    if spec is not None:
+        return float(spec.shutdown_grace_s)
+    return 5.0
+
+
+@dataclass(frozen=True)
+class ControlTimeouts:
+    """Liveness parameters of one control channel."""
+
+    control_timeout: float = 60.0
+    detection_window: float = 10.0
+    heartbeat_interval: float = 0.5
+    #: Socket poll slice while waiting for a record: small enough that
+    #: child-exit probes and window checks run promptly, large enough
+    #: not to busy-wait.
+    poll: float = 0.1
+
+    @classmethod
+    def from_spec(cls, spec) -> "ControlTimeouts":
+        window = float(spec.detection_window_s)
+        return cls(
+            control_timeout=control_timeout(spec),
+            detection_window=window,
+            heartbeat_interval=float(spec.heartbeat_interval_s),
+            poll=min(0.1, window / 4.0),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seed-derived bounded exponential backoff.
+
+    ``attempts`` is the *total* number of tries; :meth:`schedule` returns
+    the ``attempts - 1`` sleeps between them.  Delay ``i`` is
+    ``min(max_delay, base_delay * 2**i)`` stretched by a jitter factor in
+    ``[1, 1 + jitter]`` drawn from ``derive_rng("service-retry", seed,
+    *identity)`` — deterministic per (seed, call site), decorrelated
+    across call sites.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+
+    @classmethod
+    def from_spec(cls, spec) -> "RetryPolicy":
+        return cls(
+            attempts=int(spec.retry_attempts),
+            base_delay=float(spec.retry_base_s),
+            max_delay=float(spec.retry_max_s),
+            jitter=float(spec.retry_jitter),
+            seed=int(spec.seed),
+        )
+
+    def schedule(self, *identity) -> Tuple[float, ...]:
+        rng = derive_rng("service-retry", self.seed, *identity)
+        delays: List[float] = []
+        for i in range(max(0, self.attempts - 1)):
+            base = min(self.max_delay, self.base_delay * (2**i))
+            delays.append(base * (1.0 + self.jitter * rng.random()))
+        return tuple(delays)
+
+
+@dataclass(eq=False)
+class JournalEntry:
+    """One acknowledged (or in-flight) control exchange.
+
+    ``record`` is the shared control record (tick, broadcast, revoke,
+    phase-begin, ...); ``per_host`` replaces it for exchanges whose
+    record differs per host (deliver).  For tick entries, ``up`` is
+    filled in once every live host has replied: the envelope-sorted
+    union of all hosts' mirrored frames, from which a replaying host's
+    *foreign* deliveries (frames addressed to its sensors by sensors it
+    does not itself recompute) are extracted.
+
+    Identity equality (``eq=False``): the recovery path locates entries
+    positionally and two distinct exchanges may carry equal records
+    (e.g. consecutive ``("phase-end",)``).
+    """
+
+    kind: str
+    record: Optional[tuple] = None
+    per_host: Optional[Dict[int, tuple]] = None
+    up: Optional[Tuple[tuple, ...]] = None
+
+    def record_for(self, host_index: int) -> tuple:
+        if self.per_host is not None:
+            return self.per_host[host_index]
+        assert self.record is not None
+        return self.record

@@ -39,15 +39,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.protocol import ExecutionOutcome, VMATProtocol
-from ..errors import ConfigError, ProtocolError, ServiceError
+from ..errors import ConfigError, HostChannelError, ProtocolError, ServiceError
+from ..faults import FaultInjector
+from ..faults.plan import FaultPlan, NodeCrash
 from ..metrics import Metrics
 from ..net.message import VetoMessage
 from ..net.node import ConfReceiptRecord
 from ..net.transport import SimTransport
+from .resilience import (
+    DEGRADE_HORIZON,
+    ControlTimeouts,
+    JournalEntry,
+    control_timeout,
+    shutdown_grace,
+)
 from .spec import SUPPORTED_QUERIES, ServiceSpec
 from .supervisor import Supervisor
-from .wire import RecordChannel, control_timeout, delivery_envelope, \
-    envelope_sort_key, ingest_envelope
+from .wire import RecordChannel, delivery_envelope, envelope_sort_key, \
+    ingest_envelope
 
 #: Attack names (CLI-level) -> (strategy registry name, predtest policy).
 ATTACKS = {
@@ -121,7 +130,20 @@ class _SyncingRegistry:
 
 
 class ServiceRuntime:
-    """Launches node hosts and drives them in lockstep with the protocol."""
+    """Launches node hosts and drives them in lockstep with the protocol.
+
+    Resilience model (docs/SERVICE.md, "Failure semantics"): every
+    control exchange is journaled before it is sent, and the lockstep
+    discipline (at most one un-acknowledged record per host) means a
+    failed host has acknowledged *exactly* the journal minus the
+    in-flight entry.  Recovery is therefore: kill + respawn the host
+    (budget permitting), replay the acknowledged prefix — every control
+    record drives a deterministic recomputation, so the fresh replica
+    converges to the dead incarnation's exact state — then re-issue the
+    in-flight record live.  A host that exhausts its restart budget is
+    degraded instead: its sensors become synthesized benign crash faults
+    and the session completes INCONCLUSIVE-safe.
+    """
 
     def __init__(self, network, spec: ServiceSpec, spawn_hosts: bool = True) -> None:
         spec.validate()
@@ -133,7 +155,7 @@ class ServiceRuntime:
         self.spec = spec
         self.spawn_hosts = spawn_hosts
         self.host_of = spec.host_of_map()
-        self.channels: List[RecordChannel] = []
+        self.channels: Dict[int, RecordChannel] = {}
         self.supervisor: Optional[Supervisor] = None
         self.server: Optional[socket.socket] = None
         self.phase = None
@@ -143,6 +165,16 @@ class ServiceRuntime:
         self.pending_ship: Dict[int, List[tuple]] = {}
         self._interval_started = 0.0
         self._raw_registry = None
+        # Resilience state.
+        self.timeouts = ControlTimeouts.from_spec(spec)
+        self.journal: List[JournalEntry] = []
+        self.dead_hosts: set = set()
+        self.restarts_used: Dict[int, int] = {}
+        self.incarnation: Dict[int, int] = {}
+        self.peer_ports: List[int] = []
+        self.retry_trace: List[tuple] = []
+        self.chaos = None  # ChaosController, attached by run_chaos
+        self._spec_json: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -156,16 +188,23 @@ class ServiceRuntime:
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         server.bind((spec.host, spec.control_port))
         server.listen(spec.processes)
-        server.settimeout(control_timeout())
+        server.settimeout(control_timeout(spec))
         control_port = server.getsockname()[1]
         child_spec = dataclasses.replace(spec, control_port=control_port)
         spec_json = child_spec.to_json()
+        self._spec_json = spec_json
 
-        self.supervisor = Supervisor()
+        self.supervisor = Supervisor(grace=shutdown_grace(spec))
         try:
             if self.spawn_hosts:
                 for host_index in range(spec.processes):
-                    self.supervisor.spawn_host(host_index, spec_json)
+                    self.incarnation[host_index] = 1
+                    extra_env = None
+                    if self.chaos is not None:
+                        extra_env = self.chaos.spawn_env(host_index, 1)
+                    self.supervisor.spawn_host(
+                        host_index, spec_json, extra_env=extra_env
+                    )
             by_index: Dict[int, RecordChannel] = {}
             peer_ports = [0] * spec.processes
             for _ in range(spec.processes):
@@ -177,19 +216,23 @@ class ServiceRuntime:
                         "connected before the control timeout "
                         f"({len(self.supervisor.alive())} still alive)"
                     ) from None
-                channel = RecordChannel(conn, on_wire=self._count_wire)
+                channel = RecordChannel(
+                    conn, on_wire=self._count_wire, timeouts=self.timeouts
+                )
                 hello = channel.recv()
                 if hello[0] != "hello":
                     raise ServiceError(f"expected hello, got {hello[0]!r}")
                 _tag, host_index, peer_port = hello
                 by_index[host_index] = channel
                 peer_ports[host_index] = peer_port
-            self.channels = [by_index[i] for i in range(spec.processes)]
+            self.peer_ports = peer_ports
+            for i in range(spec.processes):
+                self._wire_channel(i, by_index[i])
             ports = tuple(peer_ports)
-            for channel in self.channels:
-                channel.send("peers", ports)
-            for channel in self.channels:
-                self._expect_ok(channel)
+            for i in range(spec.processes):
+                self._send_to(i, ("peers", ports))
+            for i in range(spec.processes):
+                self._expect_ok(self.channels[i])
         except Exception:
             self.supervisor.shutdown()
             server.close()
@@ -204,9 +247,17 @@ class ServiceRuntime:
         network.registry = _SyncingRegistry(self._raw_registry, self)
 
     def finish(self) -> List[str]:
-        """Tear everything down; returns (non-fatal) host error strings."""
+        """Tear everything down; returns (non-fatal) host error strings.
+
+        No recovery is attempted here — a host that cannot answer the
+        shutdown request is simply reported.  Exit codes land in
+        host-event accounting, except for incarnations the runtime
+        killed on purpose (restarts, degradations, chaos): their
+        SIGKILL exit status is expected and carries no information.
+        """
         errors: List[str] = []
-        for channel in self.channels:
+        for i in sorted(self.channels):
+            channel = self.channels[i]
             try:
                 record = channel.request("shutdown")
                 if record[0] == "metrics":
@@ -218,11 +269,19 @@ class ServiceRuntime:
             except ServiceError as exc:
                 errors.append(str(exc))
             channel.close()
-        self.channels = []
+        self.channels = {}
         if self.supervisor is not None:
-            for code in self.supervisor.shutdown():
-                if code != 0:
-                    errors.append(f"node host exited with status {code}")
+            for host_exit in self.supervisor.shutdown_report():
+                if host_exit.expected:
+                    continue
+                if host_exit.host_index >= 0:
+                    self.network.metrics.record_host_event(
+                        f"host-{host_exit.host_index}.exit:{host_exit.returncode}"
+                    )
+                if host_exit.returncode != 0:
+                    errors.append(
+                        f"node host exited with status {host_exit.returncode}"
+                    )
             self.supervisor = None
         if self.server is not None:
             self.server.close()
@@ -241,22 +300,286 @@ class ServiceRuntime:
         if record[0] != "ok":
             raise ServiceError(f"expected ok, got {record[0]!r}")
 
-    def _broadcast_request(self, *parts) -> List[tuple]:
-        """Send one record to every host, then collect every reply."""
-        for channel in self.channels:
-            channel.send(*parts)
-        return [channel.recv() for channel in self.channels]
+    # ------------------------------------------------------------------
+    # Journaled exchanges + host recovery
+    # ------------------------------------------------------------------
+    def _live_indices(self) -> List[int]:
+        return [
+            i for i in range(self.spec.processes) if i not in self.dead_hosts
+        ]
+
+    def _probe_host(self, i: int) -> None:
+        """Liveness probe run between recv poll slices: a reaped child
+        means the channel can never produce another record."""
+        supervisor = self.supervisor
+        if supervisor is None:
+            return
+        code = supervisor.poll_host(i)
+        if code is not None:
+            raise HostChannelError(f"host {i} process exited with status {code}")
+
+    def _wire_channel(self, i: int, channel: RecordChannel) -> None:
+        channel.liveness = lambda: self._probe_host(i)
+        self.channels[i] = channel
+
+    def _send_to(self, i: int, record: tuple) -> None:
+        channel = self.channels[i]
+        channel.send(*record)
+        if self.chaos is not None:
+            self.chaos.on_record_sent(self, i, channel)
+
+    def _exchange(self, entry: JournalEntry) -> Dict[int, tuple]:
+        """One lockstep control exchange with every live host.
+
+        Journal first, then send to all, then collect from all; hosts
+        whose channel fails at either step are recovered *after* the
+        healthy hosts' replies are in (their mirrored frames feed a
+        restarted host's catch-up).  Hosts that exhaust their restart
+        budget are degraded, and the degradation record is itself
+        exchanged (and journaled) once the entry completes, so live
+        hosts and any future replay install identical crash faults.
+        """
+        self.journal.append(entry)
+        live = self._live_indices()
+        replies: Dict[int, tuple] = {}
+        failed: List[int] = []
+        for i in live:
+            try:
+                self._send_to(i, entry.record_for(i))
+            except HostChannelError:
+                failed.append(i)
+        for i in live:
+            if i in failed:
+                continue
+            try:
+                replies[i] = self.channels[i].recv()
+            except HostChannelError:
+                failed.append(i)
+        newly_dead: List[tuple] = []
+        for i in sorted(failed):
+            reply = self._recover_host(i, entry, replies, newly_dead)
+            if reply is not None:
+                replies[i] = reply
+        if entry.kind == "tick" and entry.up is None:
+            up = [
+                env
+                for record in replies.values()
+                if record and record[0] == "tick-done"
+                for env in record[1]
+            ]
+            up.sort(key=envelope_sort_key)
+            entry.up = tuple(up)
+        for degrade_info in newly_dead:
+            self._announce_degrade(degrade_info)
+        return replies
+
+    def _recover_host(
+        self,
+        i: int,
+        entry: JournalEntry,
+        replies: Dict[int, tuple],
+        newly_dead: List[tuple],
+    ) -> Optional[tuple]:
+        """Restart host ``i`` and return its reply to the in-flight
+        ``entry``, or ``None`` after marking it dead (budget exhausted)."""
+        while True:
+            if self.restarts_used.get(i, 0) >= self.spec.restart_budget:
+                newly_dead.append(self._mark_dead(i))
+                return None
+            self.restarts_used[i] = self.restarts_used.get(i, 0) + 1
+            self.network.metrics.record_host_event(f"host-{i}.restart")
+            self.retry_trace.append(("restart", i, self.restarts_used[i]))
+            try:
+                return self._restart_and_replay(i, entry, replies, newly_dead)
+            except HostChannelError:
+                continue  # the new incarnation failed too; burn another restart
+
+    def _restart_and_replay(
+        self,
+        i: int,
+        entry: JournalEntry,
+        replies: Dict[int, tuple],
+        newly_dead: List[tuple],
+    ) -> tuple:
+        assert self.journal and self.journal[-1] is entry
+        old = self.channels.pop(i, None)
+        if old is not None:
+            old.close()
+        supervisor = self.supervisor
+        assert supervisor is not None
+        supervisor.kill_host(i)
+        self.incarnation[i] = self.incarnation.get(i, 1) + 1
+        extra_env = None
+        if self.chaos is not None:
+            extra_env = self.chaos.spawn_env(i, self.incarnation[i])
+        assert self._spec_json is not None
+        supervisor.spawn_host(i, self._spec_json, extra_env=extra_env)
+        assert self.server is not None
+        try:
+            conn, _addr = self.server.accept()
+        except socket.timeout:
+            raise HostChannelError(
+                f"restarted host {i} did not reconnect within the control timeout"
+            ) from None
+        channel = RecordChannel(
+            conn, on_wire=self._count_wire, timeouts=self.timeouts
+        )
+        hello = channel.recv()
+        if hello[0] != "hello" or hello[1] != i:
+            channel.close()
+            raise ServiceError(
+                f"expected hello from restarted host {i}, got {hello!r}"
+            )
+        self.peer_ports[i] = hello[2]
+        self._wire_channel(i, channel)
+        # Replay the acknowledged prefix: deterministic recomputation,
+        # replies are read (an "error" record would raise) and discarded.
+        for past in self.journal[:-1]:
+            self._send_to(i, self._replay_record(past, i))
+            channel.recv()
+        # Fresh peer plumbing: the new incarnation listens on a new port.
+        self._send_to(i, ("peers", tuple(self.peer_ports)))
+        self._expect_ok(channel)
+        self._renotify_peers(i, entry, replies, newly_dead)
+        # Re-issue the in-flight record live and adopt its reply.
+        self._send_to(i, self._reissue_record(entry, i, replies))
+        return channel.recv()
+
+    def _renotify_peers(
+        self,
+        restarted: int,
+        entry: JournalEntry,
+        replies: Dict[int, tuple],
+        newly_dead: List[tuple],
+    ) -> None:
+        """Push the updated port table to every other live host.
+
+        A host that fails *here* already acknowledged the in-flight
+        entry, so its recovery re-issues that entry too; the returned
+        reply is a deterministic duplicate of the one already collected
+        and replaces it in ``replies`` (identical content).
+        """
+        ports = tuple(self.peer_ports)
+        for j in self._live_indices():
+            if j == restarted or j not in self.channels:
+                continue
+            try:
+                self._send_to(j, ("peers", ports))
+                self._expect_ok(self.channels[j])
+            except HostChannelError:
+                reply = self._recover_host(j, entry, replies, newly_dead)
+                if reply is not None:
+                    replies[j] = reply
+
+    def _replay_record(self, past: JournalEntry, i: int) -> tuple:
+        if past.kind == "tick":
+            assert past.record is not None
+            return ("replay-tick", past.record[1], self._tick_foreign(i, past, None))
+        return past.record_for(i)
+
+    def _reissue_record(
+        self, entry: JournalEntry, i: int, replies: Dict[int, tuple]
+    ) -> tuple:
+        if entry.kind == "tick":
+            assert entry.record is not None
+            return (
+                "catchup-tick",
+                entry.record[1],
+                self._tick_foreign(i, entry, replies),
+            )
+        return entry.record_for(i)
+
+    def _tick_foreign(
+        self,
+        host_index: int,
+        entry: JournalEntry,
+        replies: Optional[Dict[int, tuple]],
+    ) -> tuple:
+        """Frames host ``host_index`` must receive for a tick it re-runs:
+        addressed to one of its sensors, sent by a sensor it does not
+        itself recompute.  From the completed entry's ``up`` mirror when
+        available, else from the in-flight replies collected so far."""
+        envs = entry.up
+        if envs is None:
+            collected = [
+                env
+                for record in (replies or {}).values()
+                if record and record[0] == "tick-done"
+                for env in record[1]
+            ]
+            collected.sort(key=envelope_sort_key)
+            envs = tuple(collected)
+        host_of = self.host_of
+        return tuple(
+            env
+            for env in envs
+            if host_of.get(env[1]) == host_index
+            and host_of.get(env[5]) != host_index
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation: dead host -> synthesized benign crash faults
+    # ------------------------------------------------------------------
+    def _mark_dead(self, i: int) -> tuple:
+        """Declare host ``i`` dead and install its sensors' crash faults
+        on the coordinator; returns the info for the journaled announce."""
+        self.dead_hosts.add(i)
+        channel = self.channels.pop(i, None)
+        if channel is not None:
+            channel.close()
+        if self.supervisor is not None:
+            self.supervisor.kill_host(i)
+        metrics = self.network.metrics
+        metrics.record_host_event(f"host-{i}.degraded")
+        self.retry_trace.append(("degrade", i))
+        now = max(1, metrics.intervals_elapsed)
+        crashed = tuple(
+            sensor for sensor, host in sorted(self.host_of.items()) if host == i
+        )
+        self._install_crash_faults(now, crashed)
+        return (i, now, crashed)
+
+    def _install_crash_faults(self, now: int, crashed: Tuple[int, ...]) -> None:
+        events = tuple(
+            NodeCrash(start=now, end=DEGRADE_HORIZON, node=sensor)
+            for sensor in crashed
+        )
+        network = self.network
+        injector = network.fault_injector
+        if injector is None:
+            injector = FaultInjector(
+                FaultPlan(name="host-degradation", events=events),
+                seed=self.spec.fault_seed,
+            ).attach(network)
+        else:
+            injector.extend_events(events)
+        injector.advance_to(now)
+
+    def _announce_degrade(self, degrade_info: tuple) -> None:
+        """Journal + broadcast the degradation so every live host (and
+        any future replay) installs the same synthesized crash faults."""
+        _i, now, crashed = degrade_info
+        replies = self._exchange(
+            JournalEntry("degrade", ("degrade", now, crashed))
+        )
+        for record in replies.values():
+            if record[0] != "ok":
+                raise ServiceError(f"degrade not applied: {record[0]!r}")
 
     # ------------------------------------------------------------------
     # Cross-process side channels
     # ------------------------------------------------------------------
     def _on_broadcast(self, payload: tuple) -> None:
-        for record in self._broadcast_request("broadcast", payload):
+        replies = self._exchange(JournalEntry("broadcast", ("broadcast", payload)))
+        for record in replies.values():
             if record[0] != "ok":
                 raise ServiceError(f"broadcast not applied: {record[0]!r}")
 
     def sync_revocation(self, what: str, target: int, reason: str) -> None:
-        for record in self._broadcast_request("revoke", what, target, reason):
+        replies = self._exchange(
+            JournalEntry("revoke", ("revoke", what, target, reason))
+        )
+        for record in replies.values():
             if record[0] != "ok":
                 raise ServiceError(f"revocation not applied: {record[0]!r}")
 
@@ -264,7 +587,10 @@ class ServiceRuntime:
     # Driver interface (called by the core phase loops)
     # ------------------------------------------------------------------
     def execution_starting(self) -> None:
-        for record in self._broadcast_request("execution-starting"):
+        replies = self._exchange(
+            JournalEntry("execution-starting", ("execution-starting",))
+        )
+        for record in replies.values():
             if record[0] != "ok":
                 raise ServiceError(f"execution reset failed: {record[0]!r}")
 
@@ -273,10 +599,13 @@ class ServiceRuntime:
             (int(node_id), float(value))
             for node_id, value in sorted(readings.items())
         )
-        replies = self._broadcast_request(
-            "begin-execution", pairs, query_name, num_instances, nonce
+        replies = self._exchange(
+            JournalEntry(
+                "begin-execution",
+                ("begin-execution", pairs, query_name, num_instances, nonce),
+            )
         )
-        for record in replies:
+        for record in replies.values():
             if record[0] != "ok":
                 raise ServiceError(f"begin-execution failed: {record[0]!r}")
 
@@ -310,55 +639,61 @@ class ServiceRuntime:
         else:
             raise ServiceError(f"unknown phase kind {kind!r}")
 
-        replies = self._broadcast_request(*record)
-        for reply in replies:
+        replies = self._exchange(JournalEntry("phase-begin", record))
+        for reply in replies.values():
             if reply[0] != "phase-begun":
                 raise ServiceError(f"phase-begin failed: {reply[0]!r}")
         if kind == "confirmation":
             # Mirror the hosts' initial vetoers: a vetoer has
             # forwarded_veto set and no SOF receipt, which is exactly the
             # pair num_vetoers counts on the coordinator.
-            for reply in replies:
-                for node_id in reply[1]:
+            for i in sorted(replies):
+                for node_id in replies[i][1]:
                     self.network.nodes[node_id].forwarded_veto = True
 
     def tick(self, k: int) -> None:
         self._interval_started = time.perf_counter()
-        replies = self._broadcast_request("tick", k)
-        up: List[tuple] = []
-        for record in replies:
+        if self.chaos is not None:
+            self.chaos.before_tick(self)
+        entry = JournalEntry("tick", ("tick", k))
+        replies = self._exchange(entry)
+        for record in replies.values():
             if record[0] != "tick-done":
                 raise ServiceError(f"tick failed: {record[0]!r}")
-            up.extend(record[1])
         # Honest frames are (band 1, sender id, per-host seq): the global
-        # sort reproduces the simulator's ascending-sender send order.
-        up.sort(key=envelope_sort_key)
+        # sort (done by _exchange when it fills entry.up) reproduces the
+        # simulator's ascending-sender send order.
         transport = self.phase.transport
-        for env in up:
+        for env in entry.up or ():
             transport.ingest(env)
         self.tick_done = True
 
     def deliver(self, k: int) -> None:
         pending = self.pending_ship
         self.pending_ship = {}
-        for host_index, channel in enumerate(self.channels):
-            channel.send("deliver", k, tuple(pending.get(host_index, ())))
-        replies = [channel.recv() for channel in self.channels]
-        for record in replies:
+        # Journal a record for *every* host index (not just live ones):
+        # the per-host down-frames are part of the deterministic replay a
+        # future restart needs, whichever host it is for.
+        per_host = {
+            i: ("deliver", k, tuple(pending.get(i, ())))
+            for i in range(self.spec.processes)
+        }
+        replies = self._exchange(JournalEntry("deliver", per_host=per_host))
+        for record in replies.values():
             if record[0] != "deliver-done":
                 raise ServiceError(f"deliver failed: {record[0]!r}")
         kind = self._phase_kind
         if kind == "tree":
-            for record in replies:
-                for node_id, level, parents in record[1]:
+            for i in sorted(replies):
+                for node_id, level, parents in replies[i][1]:
                     node = self.network.nodes[node_id]
                     node.level = level
                     node.parents = list(parents)
         elif kind == "confirmation":
             # Adopters: forwarded_veto plus a sentinel SOF receipt, so
             # num_vetoers (vetoer = forwarded, *no* receipt) stays exact.
-            for record in replies:
-                for node_id in record[1]:
+            for i in sorted(replies):
+                for node_id in replies[i][1]:
                     node = self.network.nodes[node_id]
                     node.forwarded_veto = True
                     node.audit.conf_receipts.append(
@@ -377,7 +712,8 @@ class ServiceRuntime:
         )
 
     def phase_end(self) -> None:
-        for record in self._broadcast_request("phase-end"):
+        replies = self._exchange(JournalEntry("phase-end", ("phase-end",)))
+        for record in replies.values():
             if record[0] != "ok":
                 raise ServiceError(f"phase-end failed: {record[0]!r}")
         self.phase = None
@@ -397,6 +733,11 @@ class ServiceRunResult:
     num_executions: int
     metrics: Metrics
     latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Hosts that exhausted their restart budget and were degraded to
+    #: synthesized benign crash faults (service leg only).
+    degraded_hosts: Tuple[int, ...] = ()
+    #: Restarts actually performed, per host index (service leg only).
+    host_restarts: Dict[int, int] = field(default_factory=dict)
 
 
 def default_readings(spec: ServiceSpec) -> Dict[int, float]:
@@ -433,10 +774,18 @@ def _build_protocol(spec: ServiceSpec, attack: Optional[str]):
     return deployment, protocol
 
 
-def _session_loop(protocol, query, readings, max_executions, time_metrics=None):
+def _session_loop(
+    protocol, query, readings, max_executions, time_metrics=None, runtime=None
+):
     """``VMATProtocol.run_session`` semantics, with optional per-execution
     wall-clock sampling (the service leg records; the simulator leg, whose
-    timings are meaningless for the comparison, does not)."""
+    timings are meaningless for the comparison, does not).
+
+    When a :class:`ServiceRuntime` is supplied and it has degraded hosts,
+    an INCONCLUSIVE execution *ends* the session (estimate ``None``)
+    instead of retrying: the crashed sensors never come back, so further
+    executions cannot produce a result, and completing without one is the
+    documented benign-degradation outcome."""
     executions = []
     for _ in range(max_executions):
         started = time.perf_counter()
@@ -450,6 +799,8 @@ def _session_loop(protocol, query, readings, max_executions, time_metrics=None):
             return executions, execution.estimate
         if not execution.revocations:
             if execution.outcome is ExecutionOutcome.INCONCLUSIVE:
+                if runtime is not None and runtime.dead_hosts:
+                    return executions, None
                 continue
             raise ProtocolError(
                 "an execution neither produced a result nor revoked "
@@ -505,13 +856,17 @@ def run_service_session(
     runtime.launch()
     try:
         executions, estimate = _session_loop(
-            protocol, query, readings, max_executions, time_metrics=network.metrics
+            protocol, query, readings, max_executions,
+            time_metrics=network.metrics, runtime=runtime,
         )
     finally:
         errors = runtime.finish()
     if errors:
         raise ServiceError("service teardown reported: " + "; ".join(errors))
-    return _run_result(executions, estimate, network.metrics, with_latency=True)
+    result = _run_result(executions, estimate, network.metrics, with_latency=True)
+    result.degraded_hosts = tuple(sorted(runtime.dead_hosts))
+    result.host_restarts = dict(sorted(runtime.restarts_used.items()))
+    return result
 
 
 def run_sim_session(
@@ -539,7 +894,7 @@ def run_sim_session(
 # ----------------------------------------------------------------------
 # Simulator-vs-service equivalence
 # ----------------------------------------------------------------------
-_RUNTIME_ONLY_METRICS = ("wall_clock", "wire_bytes", "wire_frames")
+_RUNTIME_ONLY_METRICS = ("wall_clock", "wire_bytes", "wire_frames", "host_events")
 
 
 def strip_runtime_metrics(snapshot: Dict[str, object]) -> Dict[str, object]:

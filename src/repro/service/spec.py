@@ -60,6 +60,29 @@ class ServiceSpec:
     host: str = "127.0.0.1"
     control_port: int = 0
     metrics_dir: Optional[str] = None
+    # Resilience knobs (repro.service.resilience).  All timeouts are in
+    # seconds.  ``control_timeout_s`` bounds one blocking control-channel
+    # exchange end to end (env override: REPRO_SERVICE_TIMEOUT);
+    # ``shutdown_grace_s`` is the SIGTERM->SIGKILL grace the supervisor
+    # allows (env override: REPRO_SERVICE_GRACE).  Hosts heartbeat every
+    # ``heartbeat_interval_s``; total control-channel silence longer than
+    # ``detection_window_s`` declares the host unresponsive.  A failed
+    # host is restarted (with journal replay) at most ``restart_budget``
+    # times per session before it is declared dead and degraded onto
+    # synthesized crash faults.  Retries (control connect, peer dials)
+    # follow a seed-derived exponential-backoff schedule: up to
+    # ``retry_attempts`` tries, delays ``retry_base_s * 2^i`` capped at
+    # ``retry_max_s``, each stretched by up to ``retry_jitter`` fraction.
+    control_timeout_s: float = 60.0
+    shutdown_grace_s: float = 5.0
+    heartbeat_interval_s: float = 0.5
+    detection_window_s: float = 10.0
+    restart_budget: int = 1
+    retry_attempts: int = 4
+    retry_base_s: float = 0.05
+    retry_max_s: float = 0.5
+    retry_jitter: float = 0.5
+    peer_ack_timeout_s: float = 2.0
 
     # ------------------------------------------------------------------
     # Validation
@@ -79,6 +102,23 @@ class ServiceSpec:
                 raise ConfigError(f"malicious id {mid} outside 1..{self.num_nodes - 1}")
         if self.tree_variant not in ("timestamp", "hopcount"):
             raise ConfigError(f"unknown tree variant {self.tree_variant!r}")
+        for name in (
+            "control_timeout_s",
+            "shutdown_grace_s",
+            "heartbeat_interval_s",
+            "detection_window_s",
+            "retry_base_s",
+            "retry_max_s",
+            "peer_ack_timeout_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.restart_budget < 0:
+            raise ConfigError("restart_budget must be >= 0")
+        if self.retry_attempts < 1:
+            raise ConfigError("retry_attempts must be >= 1")
+        if self.retry_jitter < 0:
+            raise ConfigError("retry_jitter must be >= 0")
         if self.fault_plan is not None:
             plan = FaultPlan.from_json(self.fault_plan)
             bad = sorted(set(plan.counts_by_kind()) & UNSUPPORTED_FAULT_KINDS)

@@ -25,25 +25,28 @@ monotone counter preserves coordinator chronology.
 
 from __future__ import annotations
 
-import os
 import socket
+import struct
+import time
 from typing import Callable, List, Optional, Tuple
 
-from ..errors import ServiceError
-from ..net.framing import StreamDecoder, encode_record
+from ..errors import HostChannelError, HostUnresponsiveError, ServiceError
+from ..net.framing import FramingError, StreamDecoder, encode_record
 from ..net.network import Delivery, PhaseContext, _SendBatch
+from .resilience import ControlTimeouts, control_timeout
 
 #: (interval, receiver, band, order, subseq, claimed_sender, key_index,
 #:  edge_mac, payload_bytes)
 Envelope = Tuple[int, int, int, int, int, int, int, bytes, bytes]
 
-DEFAULT_TIMEOUT = float(os.environ.get("REPRO_SERVICE_TIMEOUT", "60"))
+DEFAULT_TIMEOUT = 60.0
 
 _RECV_CHUNK = 65536
 
-
-def control_timeout() -> float:
-    return DEFAULT_TIMEOUT
+#: Liveness keep-alive record, sent host -> coordinator on a timer and
+#: filtered out of the record queue on receipt: heartbeats refresh the
+#: channel's last-traffic clock but are invisible to protocol logic.
+HEARTBEAT = ("hb",)
 
 
 # ----------------------------------------------------------------------
@@ -109,42 +112,85 @@ def ingest_envelope(
 # Synchronous record channel (coordinator side)
 # ----------------------------------------------------------------------
 class RecordChannel:
-    """Length-prefixed record I/O over one blocking socket."""
+    """Length-prefixed record I/O over one blocking socket.
+
+    The receive path waits in short poll slices rather than one long
+    blocking read, so between slices the channel can (a) run an optional
+    ``liveness`` probe (the coordinator points it at the supervisor's
+    child-exit poll, turning a crashed host into an immediate
+    :class:`~repro.errors.HostChannelError` instead of a timeout) and
+    (b) enforce the heartbeat detection window: if *no* traffic — not
+    even a heartbeat — arrives for ``detection_window`` seconds, the
+    peer is declared unresponsive (hung or stopped process).  Socket
+    failures, EOF, and corrupt framing all raise
+    :class:`~repro.errors.HostChannelError` — the recoverable class the
+    resilience layer answers with a restart; only peer-*reported* errors
+    stay plain :class:`~repro.errors.ServiceError` (fatal logic bugs).
+    """
 
     def __init__(
         self,
         sock: socket.socket,
         timeout: Optional[float] = None,
         on_wire: Optional[Callable[[int, int], None]] = None,
+        timeouts: Optional[ControlTimeouts] = None,
+        liveness: Optional[Callable[[], None]] = None,
     ) -> None:
-        sock.settimeout(timeout if timeout is not None else control_timeout())
+        if timeouts is None:
+            timeouts = ControlTimeouts(
+                control_timeout=timeout if timeout is not None else control_timeout(),
+                detection_window=0.0,  # disabled for bare channels
+            )
+        self.timeouts = timeouts
         self.sock = sock
+        sock.settimeout(min(timeouts.poll, timeouts.control_timeout))
         self.decoder = StreamDecoder()
         self._queue: List[tuple] = []
         self.on_wire = on_wire
+        self.liveness = liveness
+        self._last_rx = time.monotonic()
+        self.records_sent = 0
 
     def send(self, *parts) -> None:
         data = encode_record(*parts)
         try:
             self.sock.sendall(data)
         except OSError as exc:
-            raise ServiceError(f"control send failed: {exc}") from exc
+            raise HostChannelError(f"control send failed: {exc}") from exc
+        self.records_sent += 1
         if self.on_wire is not None:
             self.on_wire(len(data), 1)
 
     def recv(self) -> tuple:
+        started = time.monotonic()
         while not self._queue:
             try:
                 chunk = self.sock.recv(_RECV_CHUNK)
-            except socket.timeout as exc:
-                raise ServiceError("control channel timed out") from exc
+            except socket.timeout:
+                now = time.monotonic()
+                if self.liveness is not None:
+                    self.liveness()
+                window = self.timeouts.detection_window
+                if window > 0 and now - self._last_rx > window:
+                    raise HostUnresponsiveError(
+                        f"no control traffic (not even a heartbeat) for "
+                        f"{now - self._last_rx:.1f}s > detection window {window}s"
+                    ) from None
+                if now - started > self.timeouts.control_timeout:
+                    raise HostChannelError("control channel timed out") from None
+                continue
             except OSError as exc:
-                raise ServiceError(f"control recv failed: {exc}") from exc
+                raise HostChannelError(f"control recv failed: {exc}") from exc
             if not chunk:
-                raise ServiceError("control channel closed by peer")
+                raise HostChannelError("control channel closed by peer")
+            self._last_rx = time.monotonic()
             if self.on_wire is not None:
                 self.on_wire(len(chunk), 0)
-            self._queue.extend(self.decoder.feed(chunk))
+            try:
+                records = self.decoder.feed(chunk)
+            except FramingError as exc:
+                raise HostChannelError(f"corrupt control stream: {exc}") from exc
+            self._queue.extend(r for r in records if r != HEARTBEAT)
         record = self._queue.pop(0)
         if self.on_wire is not None:
             self.on_wire(0, 1)
@@ -155,6 +201,21 @@ class RecordChannel:
     def request(self, *parts) -> tuple:
         self.send(*parts)
         return self.recv()
+
+    def abort(self) -> None:
+        """Reset the connection (RST, not FIN) — chaos-harness hook.
+
+        ``SO_LINGER`` with a zero timeout makes ``close()`` discard any
+        unsent data and send a TCP reset, which the peer observes as a
+        hard connection failure mid-stream.
+        """
+        try:
+            self.sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+        self.close()
 
     def close(self) -> None:
         try:
@@ -167,7 +228,11 @@ class RecordChannel:
 # Asynchronous record stream (node-host side)
 # ----------------------------------------------------------------------
 class AsyncRecordStream:
-    """Length-prefixed record I/O over one asyncio stream pair."""
+    """Length-prefixed record I/O over one asyncio stream pair.
+
+    Sends are serialized under a lock so a background heartbeat task and
+    the dispatch loop can share one stream without interleaving frames.
+    """
 
     def __init__(self, reader, writer, on_wire=None) -> None:
         self.reader = reader
@@ -175,11 +240,17 @@ class AsyncRecordStream:
         self.decoder = StreamDecoder()
         self._queue: List[tuple] = []
         self.on_wire = on_wire
+        self._send_lock = None  # created lazily inside the running loop
 
     async def send(self, *parts) -> None:
+        import asyncio
+
+        if self._send_lock is None:
+            self._send_lock = asyncio.Lock()
         data = encode_record(*parts)
-        self.writer.write(data)
-        await self.writer.drain()
+        async with self._send_lock:
+            self.writer.write(data)
+            await self.writer.drain()
         if self.on_wire is not None:
             self.on_wire(len(data), 1)
 

@@ -91,6 +91,53 @@ class TestFaultAccounting:
         assert restored.faults_injected["duplicate"] == 5
 
 
+class TestHostEvents:
+    def test_record_host_event_accumulates(self):
+        metrics = Metrics()
+        metrics.record_host_event("host-1.restart")
+        metrics.record_host_event("host-1.restart")
+        metrics.record_host_event("host-1.retry:control-connect", 3)
+        assert metrics.host_events["host-1.restart"] == 2
+        assert metrics.host_events["host-1.retry:control-connect"] == 3
+
+    def test_merge_is_additive_per_event(self):
+        a, b = Metrics(), Metrics()
+        a.record_host_event("host-0.restart")
+        a.record_host_event("host-0.exit:0")
+        b.record_host_event("host-0.restart", 2)
+        b.record_host_event("host-1.degraded")
+        a.merge(b)
+        assert a.host_events == {
+            "host-0.restart": 3,
+            "host-0.exit:0": 1,
+            "host-1.degraded": 1,
+        }
+
+    def test_round_trip_is_lossless(self):
+        original = Metrics()
+        original.record_host_event("host-2.restart", 2)
+        original.record_host_event("host-2.exit:-9")
+        restored = Metrics.from_dict(original.to_dict())
+        assert restored == original
+        assert restored.host_events["host-2.exit:-9"] == 1
+
+    def test_empty_counter_is_omitted_everywhere(self):
+        metrics = Metrics()
+        assert "host_events" not in metrics.to_dict()
+        assert "host_events" not in metrics.summary()
+        assert "host_restarts" not in metrics.summary()
+
+    def test_summary_totals_and_restart_count(self):
+        metrics = Metrics()
+        metrics.record_host_event("host-0.restart", 2)
+        metrics.record_host_event("host-1.restart")
+        metrics.record_host_event("host-1.degraded")
+        metrics.record_host_event("host-0.retry:peer-send", 4)
+        summary = metrics.summary()
+        assert summary["host_events"] == 8.0
+        assert summary["host_restarts"] == 3.0
+
+
 def sample_metrics(seed: int) -> Metrics:
     metrics = Metrics()
     for i in range(3):

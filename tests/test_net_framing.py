@@ -14,7 +14,7 @@ import threading
 
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import HostChannelError, ServiceError
 from repro.net.framing import (
     LENGTH_PREFIX,
     MAX_RECORD_BYTES,
@@ -193,6 +193,123 @@ def test_record_channel_peer_close_raises_service_error():
             client.recv()
     finally:
         client.close()
+
+
+# ----------------------------------------------------------------------
+# Failure paths: every way a stream can go wrong must surface as one
+# clean typed error — never a hang, never a partially-accepted frame.
+# ----------------------------------------------------------------------
+def test_stream_decoder_truncated_mid_record_accepts_nothing():
+    """A record cut mid-body yields no records and keeps the tail pending;
+    completing the bytes later yields exactly the one record."""
+    payload = encode_record("tick", 7)
+    decoder = StreamDecoder()
+    assert decoder.feed(payload[: len(payload) - 3]) == []
+    assert decoder.pending_bytes == len(payload) - 3
+    assert decoder.feed(payload[len(payload) - 3 :]) == [("tick", 7)]
+    assert decoder.pending_bytes == 0
+
+
+def test_record_channel_truncated_mid_record_raises_channel_error():
+    """Peer dies after half a record: typed error, no hang, and the
+    partial frame is never surfaced as data."""
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    try:
+        payload = encode_record("tick", 7)
+        right.sendall(payload[: len(payload) // 2])
+        right.close()
+        with pytest.raises(HostChannelError, match="closed by peer"):
+            client.recv()
+    finally:
+        client.close()
+
+
+def test_stream_decoder_oversize_declared_length_rejected_before_body():
+    """A hostile length prefix is refused from the prefix alone — the
+    decoder never buffers toward an impossible record."""
+    decoder = StreamDecoder()
+    prefix = LENGTH_PREFIX.pack(MAX_RECORD_BYTES + 1)
+    with pytest.raises(FramingError, match="exceeds"):
+        decoder.feed(prefix)
+
+
+def test_record_channel_oversize_record_raises_channel_error():
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    try:
+        right.sendall(LENGTH_PREFIX.pack(MAX_RECORD_BYTES + 1))
+        with pytest.raises(HostChannelError, match="corrupt control stream"):
+            client.recv()
+    finally:
+        client.close()
+        right.close()
+
+
+def test_stream_decoder_garbage_prefix_is_a_framing_error():
+    """Arbitrary non-protocol bytes (here an HTTP request line) decode to
+    an absurd length and are rejected as framing, not crashed on."""
+    decoder = StreamDecoder()
+    with pytest.raises(FramingError):
+        decoder.feed(b"GET / HTTP/1.1\r\n\r\n")
+
+
+def test_record_channel_garbage_prefix_raises_channel_error():
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    try:
+        right.sendall(b"GET / HTTP/1.1\r\n\r\n")
+        with pytest.raises(HostChannelError, match="corrupt control stream"):
+            client.recv()
+    finally:
+        client.close()
+        right.close()
+
+
+def test_record_channel_corrupt_body_raises_channel_error():
+    """A well-framed record whose body fails the codec is a channel
+    error on the receiver, not an unhandled decode exception."""
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    try:
+        body = b"\xfe\xfd\xfc"
+        right.sendall(LENGTH_PREFIX.pack(len(body)) + body)
+        with pytest.raises(HostChannelError, match="corrupt control stream"):
+            client.recv()
+    finally:
+        client.close()
+        right.close()
+
+
+def test_record_channel_filters_heartbeats_and_tracks_liveness():
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    server = RecordChannel(right, timeout=10.0)
+    try:
+        server.send("hb")
+        server.send("hb")
+        server.send("tick", 3)
+        assert client.recv() == ("tick", 3)  # heartbeats never surface
+    finally:
+        client.close()
+        server.close()
+
+
+def test_record_channel_abort_resets_instead_of_fin():
+    """abort() must produce a hard RST so the peer sees a connection
+    error (the chaos harness's mid-record reset), not a clean EOF."""
+    left, right = socket.socketpair()
+    client = RecordChannel(left, timeout=10.0)
+    server = RecordChannel(right, timeout=10.0)
+    try:
+        client.send("tick", 1)
+        assert server.recv() == ("tick", 1)
+        client.abort()
+        with pytest.raises(ServiceError):
+            server.recv()
+            server.recv()  # at most one buffered read before the error
+    finally:
+        server.close()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,416 @@
+"""The service resilience layer (docs/SERVICE.md, "Failure semantics").
+
+Fast tests cover the deterministic primitives in isolation: seed-derived
+retry schedules, timeout resolution with environment overrides, the
+control journal's entry semantics, chaos-plan serialization/derivation,
+and the supervisor's process-lifecycle accounting.
+
+The ``slow``-marked tests are the issue's acceptance gates, end to end
+over real node-host OS processes: a host SIGKILLed mid-session is
+restarted and caught up by journal replay with *bit-for-bit* protocol
+equivalence to the undisturbed simulator run; a host dead past its
+restart budget degrades benignly (INCONCLUSIVE, zero revocations,
+honest-node-safety intact); and the seeded chaos harness is
+deterministic — two runs of the same plan serialize identically.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import (
+    ChaosController,
+    ChaosPlan,
+    ControlTimeouts,
+    JournalEntry,
+    KillHost,
+    RefuseConnect,
+    ResetControl,
+    RetryPolicy,
+    ServiceSpec,
+    run_chaos,
+    seeded_chaos_plan,
+)
+from repro.service.chaos import PROFILES
+from repro.service.resilience import (
+    GRACE_ENV,
+    TIMEOUT_ENV,
+    control_timeout,
+    shutdown_grace,
+)
+from repro.service.runtime import (
+    default_readings,
+    run_sim_session,
+    strip_runtime_metrics,
+)
+from repro.service.supervisor import Supervisor
+
+
+def fast_spec(**overrides) -> ServiceSpec:
+    """A spec with CI-sized liveness knobs: a stopped host is declared
+    unresponsive within ~2s and retry sleeps total well under a second."""
+    base = dict(
+        num_nodes=8,
+        processes=2,
+        seed=3,
+        detection_window_s=2.0,
+        heartbeat_interval_s=0.2,
+        retry_base_s=0.02,
+        retry_max_s=0.1,
+        peer_ack_timeout_s=0.5,
+        restart_budget=1,
+    )
+    base.update(overrides)
+    return ServiceSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy: seed-derived bounded exponential backoff
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_schedule_is_a_pure_function_of_seed_and_identity(self):
+        a = RetryPolicy(attempts=5, seed=7).schedule("control-connect", 1)
+        b = RetryPolicy(attempts=5, seed=7).schedule("control-connect", 1)
+        assert a == b
+
+    def test_schedule_length_is_attempts_minus_one(self):
+        assert len(RetryPolicy(attempts=4).schedule("x")) == 3
+        assert RetryPolicy(attempts=1).schedule("x") == ()
+
+    def test_call_sites_are_decorrelated(self):
+        policy = RetryPolicy(attempts=4, seed=0)
+        assert policy.schedule("control-connect", 0) != policy.schedule(
+            "peer-send", 0
+        )
+        assert policy.schedule("control-connect", 0) != policy.schedule(
+            "control-connect", 1
+        )
+
+    def test_seed_changes_the_schedule(self):
+        assert RetryPolicy(attempts=4, seed=0).schedule("x") != RetryPolicy(
+            attempts=4, seed=1
+        ).schedule("x")
+
+    def test_delays_grow_exponentially_within_cap_and_jitter(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.05, max_delay=0.5, jitter=0.5, seed=3
+        )
+        for i, delay in enumerate(policy.schedule("bounds")):
+            base = min(0.5, 0.05 * 2**i)
+            assert base <= delay <= base * 1.5
+
+    def test_zero_jitter_is_exact_exponential_backoff(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay=0.1, max_delay=1.0, jitter=0.0
+        )
+        assert policy.schedule("anything") == (0.1, 0.2, 0.4)
+
+    def test_from_spec_reads_the_retry_knobs(self):
+        spec = fast_spec(retry_attempts=7, retry_jitter=0.25, seed=11)
+        policy = RetryPolicy.from_spec(spec)
+        assert policy.attempts == 7
+        assert policy.base_delay == spec.retry_base_s
+        assert policy.max_delay == spec.retry_max_s
+        assert policy.jitter == 0.25
+        assert policy.seed == 11
+
+
+# ----------------------------------------------------------------------
+# ControlTimeouts: spec resolution + environment overrides
+# ----------------------------------------------------------------------
+class TestControlTimeouts:
+    def test_from_spec_reads_the_liveness_knobs(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_ENV, raising=False)
+        spec = fast_spec(control_timeout_s=12.0)
+        timeouts = ControlTimeouts.from_spec(spec)
+        assert timeouts.control_timeout == 12.0
+        assert timeouts.detection_window == 2.0
+        assert timeouts.heartbeat_interval == 0.2
+        # The poll slice stays a fraction of the window so detection is
+        # prompt even with tiny test windows.
+        assert timeouts.poll == min(0.1, 2.0 / 4.0)
+
+    def test_timeout_env_var_overrides_the_spec(self, monkeypatch):
+        spec = fast_spec(control_timeout_s=12.0)
+        monkeypatch.setenv(TIMEOUT_ENV, "7.5")
+        assert control_timeout(spec) == 7.5
+        assert ControlTimeouts.from_spec(spec).control_timeout == 7.5
+        monkeypatch.delenv(TIMEOUT_ENV)
+        assert control_timeout(spec) == 12.0
+
+    def test_grace_env_var_overrides_the_spec(self, monkeypatch):
+        spec = fast_spec(shutdown_grace_s=9.0)
+        monkeypatch.setenv(GRACE_ENV, "0.25")
+        assert shutdown_grace(spec) == 0.25
+        monkeypatch.delenv(GRACE_ENV)
+        assert shutdown_grace(spec) == 9.0
+
+    def test_defaults_without_spec_or_env(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_ENV, raising=False)
+        monkeypatch.delenv(GRACE_ENV, raising=False)
+        assert control_timeout() == 60.0
+        assert shutdown_grace() == 5.0
+
+    def test_spec_rejects_nonpositive_liveness_knobs(self):
+        with pytest.raises(ConfigError):
+            fast_spec(detection_window_s=0.0).validate()
+        with pytest.raises(ConfigError):
+            fast_spec(restart_budget=-1).validate()
+        with pytest.raises(ConfigError):
+            fast_spec(retry_attempts=0).validate()
+
+
+# ----------------------------------------------------------------------
+# JournalEntry: the recovery substrate's unit of replay
+# ----------------------------------------------------------------------
+class TestJournalEntry:
+    def test_record_for_shared_record(self):
+        entry = JournalEntry("tick", record=("tick", 4))
+        assert entry.record_for(0) == ("tick", 4)
+        assert entry.record_for(1) == ("tick", 4)
+
+    def test_record_for_per_host_record(self):
+        entry = JournalEntry(
+            "deliver", per_host={0: ("deliver", 4, ()), 1: ("deliver", 4, (1,))}
+        )
+        assert entry.record_for(0) == ("deliver", 4, ())
+        assert entry.record_for(1) == ("deliver", 4, (1,))
+
+    def test_entries_compare_by_identity_not_content(self):
+        # The recovery path locates the in-flight entry positionally;
+        # two consecutive phase-ends carry equal records but are
+        # distinct exchanges.
+        a = JournalEntry("phase-end", record=("phase-end",))
+        b = JournalEntry("phase-end", record=("phase-end",))
+        assert a != b
+        assert a == a
+
+
+# ----------------------------------------------------------------------
+# Chaos plans: serialization, seeded derivation, controller env hooks
+# ----------------------------------------------------------------------
+class TestChaosPlan:
+    def test_plan_round_trips_through_json(self):
+        plan = ChaosPlan(
+            name="mixed-demo",
+            kills=(KillHost(host=1, interval=4), KillHost(host=0, interval=9, stop=True)),
+            resets=(ResetControl(host=1, after_records=12),),
+            refusals=(RefuseConnect(host=0, incarnation=1, attempts=2),),
+        )
+        restored = ChaosPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert restored == plan
+
+    def test_seeded_plan_is_deterministic(self):
+        spec = fast_spec()
+        assert seeded_chaos_plan(spec, 1, "mixed") == seeded_chaos_plan(
+            spec, 1, "mixed"
+        )
+        assert seeded_chaos_plan(spec, 1, "kill") != seeded_chaos_plan(
+            spec, 2, "kill"
+        )
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_every_profile_yields_a_well_formed_plan(self, profile):
+        spec = fast_spec(processes=3)
+        plan = seeded_chaos_plan(spec, 5, profile)
+        for kill in plan.kills:
+            assert 0 <= kill.host < spec.processes
+            assert kill.interval >= 2
+        if profile in ("kill", "stop", "mixed"):
+            assert plan.kills
+        if profile == "stop":
+            assert all(kill.stop for kill in plan.kills)
+        if profile in ("reset", "flaky", "mixed"):
+            assert plan.resets
+        if profile in ("flaky", "mixed"):
+            assert plan.refusals
+
+    def test_unknown_profile_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="unknown chaos profile"):
+            seeded_chaos_plan(fast_spec(), 0, "meteor")
+
+    def test_controller_spawn_env_targets_one_incarnation(self):
+        plan = ChaosPlan(
+            name="refuse",
+            refusals=(
+                RefuseConnect(host=0, incarnation=1, attempts=2),
+                RefuseConnect(host=0, incarnation=1, attempts=1),
+            ),
+        )
+        controller = ChaosController(plan)
+        env = controller.spawn_env(host_index=0, incarnation=1)
+        assert env == {"REPRO_SERVICE_CHAOS_REFUSE": "3"}
+        assert controller.spawn_env(host_index=0, incarnation=0) is None
+        assert controller.spawn_env(host_index=1, incarnation=1) is None
+
+
+# ----------------------------------------------------------------------
+# Supervisor: the process-lifecycle oracle
+# ----------------------------------------------------------------------
+def _register_sleeper(supervisor: Supervisor, host_index: int):
+    """Spawn an inert child and register it as ``host_index``'s
+    incarnation, exactly as ``spawn_host`` would."""
+    proc = supervisor.spawn(
+        [sys.executable, "-c", "import time; time.sleep(60)"]
+    )
+    supervisor.by_host[host_index] = proc
+    supervisor.host_of_pid[proc.pid] = host_index
+    return proc
+
+
+class TestSupervisor:
+    def test_poll_kill_and_expected_exit_accounting(self):
+        with Supervisor(grace=5.0) as supervisor:
+            _register_sleeper(supervisor, 0)
+            assert supervisor.poll_host(0) is None  # alive
+            supervisor.kill_host(0)
+            assert supervisor.poll_host(0) == -signal.SIGKILL
+            (exit_status,) = supervisor.shutdown_report()
+        assert exit_status.host_index == 0
+        assert exit_status.returncode == -signal.SIGKILL
+        assert exit_status.expected
+
+    def test_unexpected_death_is_flagged_in_the_report(self):
+        with Supervisor(grace=5.0) as supervisor:
+            proc = _register_sleeper(supervisor, 2)
+            proc.kill()  # spontaneous failure, not a runtime action
+            proc.wait()
+            (exit_status,) = supervisor.shutdown_report()
+        assert exit_status.host_index == 2
+        assert exit_status.returncode == -signal.SIGKILL
+        assert not exit_status.expected
+
+    def test_kill_host_clears_a_stopped_child(self):
+        # SIGKILL reaps SIGSTOPped children too: the "hung host" case.
+        with Supervisor(grace=5.0) as supervisor:
+            _register_sleeper(supervisor, 1)
+            supervisor.signal_host(1, signal.SIGSTOP)
+            supervisor.kill_host(1)
+            assert supervisor.poll_host(1) == -signal.SIGKILL
+
+    def test_kill_host_is_idempotent_and_tolerates_unknown_hosts(self):
+        with Supervisor(grace=5.0) as supervisor:
+            supervisor.kill_host(9)  # never spawned: no-op
+            _register_sleeper(supervisor, 0)
+            supervisor.kill_host(0)
+            supervisor.kill_host(0)
+            assert supervisor.poll_host(0) == -signal.SIGKILL
+
+
+# ----------------------------------------------------------------------
+# End-to-end acceptance gates (real node-host processes)
+# ----------------------------------------------------------------------
+def _sim_outcome(spec: ServiceSpec, attack=None):
+    sim = run_sim_session(spec, attack=attack, readings=default_readings(spec))
+    return {
+        "estimate": sim.estimate,
+        "outcomes": sim.outcomes,
+        "revocations": [list(item) for item in sim.revocations],
+        "metrics": strip_runtime_metrics(sim.metrics.to_dict()),
+    }
+
+
+@pytest.mark.slow
+def test_kill_and_restart_matches_simulator_bit_for_bit():
+    """The headline gate: a 25-node attacked session whose host 0 is
+    SIGKILLed mid-session must — after detection, restart and journal
+    replay — be indistinguishable from the undisturbed simulator run in
+    every protocol-level outcome."""
+    spec = fast_spec(
+        num_nodes=25, processes=2, seed=0, malicious_ids=(5,), theta=6,
+        restart_budget=1,
+    )
+    plan = ChaosPlan(name="kill-host0", kills=(KillHost(host=0, interval=5),))
+    report = run_chaos(spec, plan, attack="spurious-veto")
+    assert report.safe, report.safety_violations
+    out = report.outcome
+    assert out["restarts"] == {"0": 1}
+    assert out["degraded_hosts"] == []
+    sim = _sim_outcome(spec, attack="spurious-veto")
+    assert out["estimate"] == sim["estimate"]
+    assert out["outcomes"] == sim["outcomes"]
+    assert out["revocations"] == sim["revocations"]
+    assert out["metrics"] == sim["metrics"]
+    assert ["sensor", 5] in [r[:2] for r in out["revocations"]]
+
+
+@pytest.mark.slow
+def test_budget_exhausted_host_degrades_benignly():
+    """Past the restart budget the session must still complete: the dead
+    host's sensors become synthesized benign crash faults, pinpointing
+    defers, and the attacked session ends INCONCLUSIVE with zero
+    revocations — process death is never treated as malice."""
+    spec = fast_spec(
+        num_nodes=25, processes=2, seed=0, malicious_ids=(5,), theta=6,
+        restart_budget=0,
+    )
+    plan = ChaosPlan(name="kill-no-budget", kills=(KillHost(host=0, interval=3),))
+    report = run_chaos(spec, plan, attack="spurious-veto")
+    assert report.safe, report.safety_violations
+    out = report.outcome
+    assert out["degraded_hosts"] == [0]
+    assert out["estimate"] is None
+    assert out["outcomes"][-1] == "inconclusive"
+    assert out["revocations"] == []
+    assert out["restarts"] == {}
+
+
+@pytest.mark.slow
+def test_seeded_chaos_harness_is_deterministic():
+    """Two runs of the same seeded plan must produce identical canonical
+    outcome documents — the CI double-run zero-tolerance diff."""
+    spec = fast_spec(restart_budget=2)
+    plan = seeded_chaos_plan(spec, 1, "kill")
+    first = run_chaos(spec, plan)
+    second = run_chaos(spec, plan)
+    assert first.safe and second.safe
+    assert json.dumps(first.outcome, sort_keys=True) == json.dumps(
+        second.outcome, sort_keys=True
+    )
+    assert first.outcome["restarts"], "the seeded kill must force a restart"
+
+
+@pytest.mark.slow
+def test_stopped_host_is_detected_by_the_window_and_restarted():
+    """SIGSTOP is the nasty case — the process is alive, its socket
+    open, it simply stops answering.  The heartbeat detection window
+    must declare it unresponsive and the restart path recover it."""
+    spec = fast_spec(restart_budget=1)
+    plan = ChaosPlan(
+        name="stop-host1", kills=(KillHost(host=1, interval=3, stop=True),)
+    )
+    report = run_chaos(spec, plan)
+    assert report.safe, report.safety_violations
+    out = report.outcome
+    assert out["restarts"] == {"1": 1}
+    assert out["degraded_hosts"] == []
+    assert out["estimate"] is not None
+    assert any(
+        item[0] == "chaos-kill" and item[1] == 1 and item[3] == "stop"
+        for item in out["retry_trace"]
+    )
+
+
+@pytest.mark.slow
+def test_connect_refusals_exhaust_the_seeded_retry_schedule():
+    """A restarted incarnation (incarnations are 1-based, so the first
+    restart is incarnation 2) whose first two connect attempts are
+    refused must retry on the seed-derived schedule and still catch up;
+    the retries land in host-event accounting."""
+    spec = fast_spec(restart_budget=1)
+    plan = ChaosPlan(
+        name="kill-then-refuse",
+        kills=(KillHost(host=0, interval=3),),
+        refusals=(RefuseConnect(host=0, incarnation=2, attempts=2),),
+    )
+    report = run_chaos(spec, plan)
+    assert report.safe, report.safety_violations
+    out = report.outcome
+    assert out["restarts"] == {"0": 1}
+    assert out["estimate"] is not None
+    assert out["host_events"].get("host-0.retry:control-connect", 0) >= 2
