@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-scale report examples figures service-smoke service-chaos all clean
+.PHONY: install test bench bench-scale bench-scale-100k report examples figures service-smoke service-chaos all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,14 @@ bench:
 
 bench-scale:
 	$(PYTHON) -m repro bench scale --compare BENCH_scale.json
+
+# The full sweep including the 100k-node grid cell (slow: minutes of
+# wall and gigabytes of RSS; excluded from tier-1 / CI smoke, which
+# run --sizes 100 1000 10000).  Enforces the absolute memory-per-node
+# gate in repro.perf.scale on the 100k cell.
+bench-scale-100k:
+	$(PYTHON) -m repro bench scale --sizes 100 1000 10000 100000 \
+		--compare BENCH_scale.json
 
 report:
 	$(PYTHON) -m repro report

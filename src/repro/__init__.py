@@ -142,6 +142,16 @@ def build_deployment(
     elif key_scheme != "eschenauer-gligor":
         raise ValueError(f"unknown key scheme {key_scheme!r}")
 
+    # Size the crypto caches for this deployment before anything warms
+    # them: the defaults fit the test topologies, and a 10k+-node build
+    # against default-sized caches turns them into pure churn (every
+    # entry evicted before its first hit).  Grow-only, so a bigger
+    # earlier deployment in the same process keeps its sizing.
+    from .perf.cache import autosize_caches, caching_enabled
+
+    if caching_enabled():
+        autosize_caches(topology.num_nodes, pool_size=config.keys.pool_size)
+
     registry = KeyRegistry(
         secret,
         topology.num_nodes,

@@ -32,6 +32,7 @@ from ..net.message import VetoMessage
 from ..net.network import Delivery, Network
 from ..net.node import ConfReceiptRecord, ConfSendRecord
 from .contexts import ConfirmationContext
+from .phase_state import VetoSchedule, columns_enabled, node_id_bound
 
 
 @dataclass
@@ -82,6 +83,14 @@ def run_confirmation(
     # Service seam: node hosts compute initial vetoes, transmit and adopt
     # for their hosted sensors when a driver is attached (repro.service).
     driver = network.honest_driver
+    # Honest inline runs keep the forwarded flags as one boolean column
+    # and the veto schedule as parallel lists (repro.core.phase_state);
+    # node objects still get their forwarded_veto flag so post-phase
+    # readers see identical state.  The pending dict below is the
+    # reference path.
+    schedule: Optional[VetoSchedule] = None
+    if driver is None and columns_enabled(network, adversary):
+        schedule = VetoSchedule(node_id_bound(network))
     if driver is not None:
         driver.phase_begin("confirmation", phase, nonce=nonce, minima=minima)
     else:
@@ -89,7 +98,10 @@ def run_confirmation(
             node = network.nodes[node_id]
             veto = _make_veto(node, minima, nonce, L)
             if veto is not None:
-                pending[node_id] = veto
+                if schedule is not None:
+                    schedule.schedule(node_id, veto)
+                else:
+                    pending[node_id] = veto
                 vetoers.append(node_id)
                 node.forwarded_veto = True  # vetoers ignore all incoming vetoes
 
@@ -103,6 +115,23 @@ def run_confirmation(
         if driver is not None:
             driver.tick(k)
             driver.deliver(k)
+        elif schedule is not None:
+            # Column path: the drained list replays the reference's
+            # sorted(pending.items()) order (appends are ascending and
+            # the schedule fully drains every interval), and the flags
+            # column answers forwarded-veto without a node lookup.
+            for node_id, veto in schedule.drain():
+                _transmit_veto(network, phase, node_id, veto, k)
+            if k < L:
+                arrived = phase.arrival_map(k)
+                forwarded = schedule.forwarded
+                for node_id in sorted(arrived) if arrived else ():
+                    if node_id not in honest_set or forwarded[node_id]:
+                        continue
+                    node = network.nodes[node_id]
+                    adopted = _adopt_first_veto(network, phase, node, k)
+                    if adopted is not None:
+                        schedule.schedule(node_id, adopted)
         else:
             # Transmit everything scheduled for this interval.
             for node_id, veto in sorted(pending.items()):

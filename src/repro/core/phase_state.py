@@ -1,0 +1,214 @@
+"""Struct-of-arrays state for the interval hot loops.
+
+The reference phase loops in :mod:`repro.core.tree`,
+:mod:`repro.core.aggregation` and :mod:`repro.core.confirmation` keep
+per-node phase state in Python containers — a ``pending_forward`` dict
+of beacons, ``send_slot``/``listen_slot`` dicts of id lists, a ``best``
+dict of message lists, per-node ``parents`` lists.  At 100k nodes those
+containers dominate the interval loop's allocation churn.  This module
+holds the same state as flat columns:
+
+* :class:`TreeColumns` — level as one ``int32`` array, parents in a
+  shared ``array('i')`` arena addressed by per-node (start, length)
+  cursors, the forward schedule as a plain id list;
+* :class:`SlotSchedule` — participants grouped by level with one stable
+  argsort, best-so-far rows addressed positionally;
+* :class:`VetoSchedule` — forwarded flags as one boolean array, the
+  pending vetoes as parallel lists.
+
+**Bit-identity contract.**  Every column structure reproduces the
+reference containers' *orders* exactly: stable argsort grouping keeps
+ascending participant order within a level group (the reference sorts
+its slot lists), and the append-only schedules replay dict insertion
+order (the reference visits arrivals ascending, so its dicts are
+inserted — and iterated — ascending too).  The column paths are only
+taken on fully honest inline runs (:func:`columns_enabled`); any
+adversary, service driver, tracer, or the global cache-disable switch
+routes the phase through the untouched reference loops.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy baked into the toolchain
+    np = None  # type: ignore[assignment]
+
+from ..errors import ProtocolError
+from ..perf.cache import caching_enabled
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+def columns_enabled(network, adversary) -> bool:
+    """Whether a phase may run its interval loop over column state.
+
+    Column loops cover exactly the honest inline configuration: no
+    adversary hooks (which mutate node objects mid-interval), no service
+    driver (node state lives on host processes), no tracer, and the perf
+    layer enabled — the cache-disable switch is the documented escape
+    hatch back to the reference path.
+    """
+    return (
+        np is not None
+        and adversary is None
+        and network.honest_driver is None
+        and network.tracer is None
+        and caching_enabled()
+    )
+
+
+def node_id_bound(network) -> int:
+    """One past the largest sensor id (array sizing; BS is id 0)."""
+    return max(network.nodes) + 1 if network.nodes else 1
+
+
+class TreeColumns:
+    """Tree-formation state: level column + parents arena + forward list."""
+
+    __slots__ = ("depth_bound", "multipath", "level", "parents_arena",
+                 "parents_start", "parents_len", "pending")
+
+    def __init__(self, num_ids: int, depth_bound: int, multipath: bool) -> None:
+        self.depth_bound = depth_bound
+        self.multipath = multipath
+        self.level = np.full(num_ids, -1, dtype=np.int32)
+        self.parents_arena = array("i")
+        self.parents_start = np.zeros(num_ids, dtype=np.int64)
+        self.parents_len = np.zeros(num_ids, dtype=np.int32)
+        # Sensors that accepted this interval and forward in the next;
+        # appended in arrival-visit order = the reference dict's
+        # insertion (and hence send) order.
+        self.pending: List[int] = []
+
+    def accept(self, node_id: int, beacons, interval: int) -> None:
+        """The timestamp rule over columns (``_accept_timestamp``).
+
+        A node is visited at most once per interval, so the reference's
+        extra-parents branch (same-interval re-visit) is unreachable and
+        a set level means "ignore".
+        """
+        if self.level[node_id] != -1:
+            return
+        self.level[node_id] = interval
+        if self.multipath:
+            parents = sorted({d.sender for d in beacons})
+        else:
+            parents = [beacons[0].sender]
+        self.parents_start[node_id] = len(self.parents_arena)
+        self.parents_len[node_id] = len(parents)
+        self.parents_arena.extend(parents)
+        if interval + 1 <= self.depth_bound:
+            self.pending.append(node_id)
+
+    def take_pending(self) -> List[int]:
+        """Drain the forward schedule (the reference's dict-and-delete)."""
+        pending = self.pending
+        self.pending = []
+        return pending
+
+    def install(self, network, honest_ids, result) -> None:
+        """Write levels/parents back onto nodes and into ``result``.
+
+        Timestamp levels are always in ``[1, depth_bound]``, so a set
+        level is always valid; ``-1`` is the reference's ``None``.
+        """
+        level = self.level
+        arena = self.parents_arena
+        start = self.parents_start
+        length = self.parents_len
+        depth_bound = self.depth_bound
+        for node_id in honest_ids:
+            node = network.nodes[node_id]
+            lv = int(level[node_id])
+            if lv != -1:
+                begin = int(start[node_id])
+                parents = arena[begin:begin + int(length[node_id])].tolist()
+                node.level = lv
+                node.parents = parents
+                node.forwarded_beacon = lv + 1 <= depth_bound
+                result.levels[node_id] = lv
+                result.parents[node_id] = list(parents)
+            else:
+                result.invalid_level_sensors.add(node_id)
+                node.level = None
+                node.parents = []
+
+
+class SlotSchedule:
+    """Aggregation slots: participants grouped by level via stable argsort.
+
+    ``ids`` keeps participants as Python ints (deployment order, i.e.
+    ascending); ``best`` holds each participant's best-so-far messages
+    addressed by position.  A level group's positions ascend with
+    participant order, which is exactly the reference's
+    ``sorted(send_slot[k])`` send order and ``listen_slot[k]`` listen
+    order.
+    """
+
+    __slots__ = ("ids", "best", "_groups")
+
+    def __init__(self, network, participants, depth_bound, own_messages,
+                 num_instances) -> None:
+        self.ids: List[int] = list(participants)
+        self.best: List[List[object]] = []
+        count = len(self.ids)
+        levels = np.fromiter(
+            (network.nodes[i].level for i in self.ids), dtype=np.int32, count=count
+        )
+        for node_id in self.ids:
+            messages = own_messages.get(node_id)
+            if messages is None or len(messages) != num_instances:
+                raise ProtocolError(f"sensor {node_id} is missing its own messages")
+            self.best.append(list(messages))
+        self._groups: Dict[int, List[int]] = {}
+        if count:
+            order = np.argsort(levels, kind="stable")
+            grouped = levels[order]
+            uniques, starts = np.unique(grouped, return_index=True)
+            bounds = starts.tolist() + [count]
+            for position, lv in enumerate(uniques.tolist()):
+                self._groups[int(lv)] = order[
+                    bounds[position]:bounds[position + 1]
+                ].tolist()
+
+    def send_positions(self, interval: int, depth_bound: int):
+        """Positions transmitting in ``interval`` (level ``L - k + 1``)."""
+        return self._groups.get(depth_bound - interval + 1, _EMPTY)
+
+    def listen_positions(self, interval: int, depth_bound: int):
+        """Positions listening in ``interval`` (level ``L - k``; level 0
+        does not exist, so interval ``L`` naturally has no listeners)."""
+        return self._groups.get(depth_bound - interval, _EMPTY)
+
+
+class VetoSchedule:
+    """SOF state: forwarded flags as one bool column + pending lists.
+
+    The pending lists replay the reference's ``sorted(pending.items())``
+    order for free: the initial vetoer scan and each interval's arrival
+    scan both visit ascending ids, and the schedule is fully drained
+    every interval, so appends are always already sorted.
+    """
+
+    __slots__ = ("forwarded", "_ids", "_vetoes")
+
+    def __init__(self, num_ids: int) -> None:
+        self.forwarded = np.zeros(num_ids, dtype=bool)
+        self._ids: List[int] = []
+        self._vetoes: List[object] = []
+
+    def schedule(self, node_id: int, veto) -> None:
+        self.forwarded[node_id] = True
+        self._ids.append(node_id)
+        self._vetoes.append(veto)
+
+    def drain(self):
+        """Yield and clear this interval's (node_id, veto) schedule."""
+        pairs = list(zip(self._ids, self._vetoes))
+        self._ids.clear()
+        self._vetoes.clear()
+        return pairs

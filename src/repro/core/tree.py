@@ -31,6 +31,7 @@ from ..keys.registry import BASE_STATION_ID
 from ..net.message import TreeBeacon
 from ..net.network import Network
 from .contexts import TreeContext
+from .phase_state import TreeColumns, columns_enabled, node_id_bound
 
 
 @dataclass
@@ -94,6 +95,14 @@ def form_tree(
     driver = network.honest_driver
     if driver is not None:
         driver.phase_begin("tree", phase, depth_bound=depth_bound, variant=variant)
+    # Column state for the honest inline timestamp path: level as one
+    # int32 array, parents in a cursor-addressed arena, the forward
+    # schedule as a plain list (repro.core.phase_state).  Any adversary,
+    # driver, tracer, hop-count variant, or the cache-disable switch
+    # keeps the per-node reference containers below.
+    cols: Optional[TreeColumns] = None
+    if variant == "timestamp" and columns_enabled(network, adversary):
+        cols = TreeColumns(node_id_bound(network), depth_bound, multipath)
 
     for k in phase.intervals():
         # 1. Base station seeds the flood in interval 1.
@@ -106,9 +115,17 @@ def form_tree(
                 interval=1,
             )
 
-        # 2. Honest sensors scheduled last interval forward now.
+        # 2. Honest sensors scheduled last interval forward now.  The
+        # column path builds each beacon at send time: a sensor accepted
+        # in interval k - 1 forwards hop count k, the exact payload the
+        # reference stored at accept time.
         if driver is not None:
             driver.tick(k)
+        elif cols is not None:
+            for node_id in cols.take_pending():
+                neighbors = network.secure_neighbors(node_id)
+                beacon = TreeBeacon(origin=node_id, hop_count=k)
+                phase.send(node_id, neighbors, beacon, interval=k)
         else:
             for node_id, beacon in list(pending_forward.items()):
                 neighbors = network.secure_neighbors(node_id)
@@ -134,11 +151,14 @@ def form_tree(
             for node_id in sorted(arrived) if arrived else ():
                 if node_id not in honest_set:
                     continue
-                node = network.nodes[node_id]
                 arrivals = phase.verified_inbox(node_id, k)
                 beacons = [d for d in arrivals if isinstance(d.payload, TreeBeacon)]
                 if not beacons:
                     continue
+                if cols is not None:
+                    cols.accept(node_id, beacons, k)
+                    continue
+                node = network.nodes[node_id]
                 if variant == "timestamp":
                     _accept_timestamp(node, beacons, k, depth_bound, multipath, pending_forward)
                 else:
@@ -146,6 +166,10 @@ def form_tree(
 
     if driver is not None:
         driver.phase_end()
+
+    if cols is not None:
+        cols.install(network, honest_ids, result)
+        return result
 
     for node_id in honest_ids:
         node = network.nodes[node_id]

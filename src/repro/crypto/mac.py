@@ -33,11 +33,13 @@ _SHA256_BLOCK = 64  # bytes
 _TRANS_IPAD = bytes(x ^ 0x36 for x in range(256))
 _TRANS_OPAD = bytes(x ^ 0x5C for x in range(256))
 
-#: Pre-keyed (inner, outer) SHA-256 states, one pair per key.
-#: Deployments use a few thousand distinct keys (rings + sensor keys);
-#: evicted keys simply pay the key schedule again.  Hot paths read
-#: through the raw view (~0.15us cheaper per MAC than ``get``); misses
-#: fall back to :func:`keyed_sha256_pair`, which does the accounting.
+#: Pre-keyed (inner, outer) SHA-256 states, one pair per key.  The
+#: default bound fits ≤1k-node deployments; ``build_deployment`` calls
+#: :func:`repro.perf.cache.autosize_caches` to grow it for larger ones
+#: (the 10k-node sweep thrashed this cache at 8192).  Hot paths read
+#: through the raw view (~0.15us cheaper per MAC than ``get``) but still
+#: count the hit; misses fall back to :func:`keyed_sha256_pair`, which
+#: does the rest of the accounting.
 _KEYED_STATES = LRUCache("hmac-keyed-states", maxsize=8192)
 _PAIR_VIEW = _KEYED_STATES.view()
 
@@ -65,6 +67,8 @@ def hmac_sha256_digest(key: bytes, *chunks: bytes) -> bytes:
     pair = _PAIR_VIEW.get(key)
     if pair is None:
         pair = keyed_sha256_pair(key)
+    else:
+        _KEYED_STATES.hits += 1
     h = pair[0].copy()
     for chunk in chunks:
         h.update(chunk)
@@ -86,6 +90,8 @@ def compute_mac(key: bytes, *parts: Any, length: int = DEFAULT_MAC_LENGTH) -> by
     pair = _PAIR_VIEW.get(key)
     if pair is None:
         pair = keyed_sha256_pair(key)
+    else:
+        _KEYED_STATES.hits += 1
     h = pair[0].copy()
     h.update(encode_parts(*parts))
     o = pair[1].copy()
@@ -111,6 +117,8 @@ def compute_mac_message(
     pair = _PAIR_VIEW.get(key)
     if pair is None:
         pair = keyed_sha256_pair(key)
+    else:
+        _KEYED_STATES.hits += 1
     h = pair[0].copy()
     h.update(message)
     o = pair[1].copy()

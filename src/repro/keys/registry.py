@@ -47,21 +47,45 @@ class KeyRegistry:
             raise KeyManagementError("need the base station plus at least one sensor")
         self.pool = KeyPool(master_secret, key_config)
         self.num_nodes = num_nodes
-        self.rings: Dict[int, KeyRing] = {}
-        for sensor_id in range(1, num_nodes):
-            seed = ring_seed(master_secret, sensor_id)
-            indices = (
-                tuple(ring_indices_factory(sensor_id))
-                if ring_indices_factory is not None
-                else None
-            )
-            self.rings[sensor_id] = KeyRing(sensor_id, seed, self.pool, indices=indices)
         theta = revocation_config.theta if revocation_config is not None else None
-        self.revocation = RevocationState(
-            {sensor: ring.indices for sensor, ring in self.rings.items()},
-            theta=theta,
-            cascade=cascade,
-        )
+        # Storage backend selection.  With the perf layer enabled and the
+        # default Eschenauer–Gligor draw, rings live in one shared int32
+        # table (repro.keys.soa) — per-sensor objects materialize lazily
+        # and revocation counters are flat arrays.  The eager dict build
+        # below is the reference path: always used when caching is
+        # disabled (bit-identity legs, REPRO_DISABLE_PERF_CACHES), when a
+        # scheme supplies explicit rings, or when numpy is unavailable.
+        self.ring_table = None
+        if ring_indices_factory is None and caching_enabled():
+            try:
+                from .soa import LazyRingMap, RingTable, RingTableRevocationState
+            except ImportError:  # pragma: no cover - numpy not installed
+                pass
+            else:
+                self.ring_table = RingTable(master_secret, num_nodes, key_config)
+                self.rings: Dict[int, KeyRing] = LazyRingMap(
+                    master_secret, self.pool, self.ring_table
+                )
+                self.revocation = RingTableRevocationState(
+                    self.ring_table, theta=theta, cascade=cascade
+                )
+        if self.ring_table is None:
+            self.rings = {}
+            for sensor_id in range(1, num_nodes):
+                seed = ring_seed(master_secret, sensor_id)
+                indices = (
+                    tuple(ring_indices_factory(sensor_id))
+                    if ring_indices_factory is not None
+                    else None
+                )
+                self.rings[sensor_id] = KeyRing(
+                    sensor_id, seed, self.pool, indices=indices
+                )
+            self.revocation = RevocationState(
+                {sensor: ring.indices for sensor, ring in self.rings.items()},
+                theta=theta,
+                cascade=cascade,
+            )
         # Rings are immutable for the deployment's lifetime, so the set
         # intersection behind shared_key_indices is a pure per-edge
         # constant — memoized per registry instance, gated on the global
@@ -106,6 +130,10 @@ class KeyRegistry:
         """Whether ``node_id`` holds pool key ``index`` (BS holds all)."""
         if node_id == BASE_STATION_ID:
             return True
+        if self.ring_table is not None:
+            if not 1 <= node_id < self.num_nodes:
+                raise KeyManagementError(f"no ring for node {node_id}")
+            return self.ring_table.holds(node_id, index)
         return index in self.ring(node_id)
 
     # ------------------------------------------------------------------
@@ -119,6 +147,16 @@ class KeyRegistry:
             return self.ring(b).indices
         if b == BASE_STATION_ID:
             return self.ring(a).indices
+        if self.ring_table is not None:
+            # The table intersect *is* the reference computation (same
+            # sorted tuple), so it stays valid even if caching is turned
+            # off after the build; memoization is safe either way.
+            edge = (a, b) if a < b else (b, a)
+            shared = self._shared_indices_memo.get(edge)
+            if shared is None:
+                shared = self.ring_table.intersect(a, b)
+                self._shared_indices_memo[edge] = shared
+            return shared
         if not caching_enabled():
             return self.ring(a).shared_indices(self.ring(b))
         edge = (a, b) if a < b else (b, a)
@@ -175,6 +213,12 @@ class KeyRegistry:
     def sensor_deployment_material(self, sensor_id: int) -> "SensorKeyMaterial":
         """The key material physically stored on one sensor — and hence
         the exact loot an adversary obtains by compromising it."""
+        if self.ring_table is not None:
+            if not 1 <= sensor_id < self.num_nodes:
+                raise KeyManagementError(f"no ring for node {sensor_id}")
+            from .soa import LazySensorKeyMaterial
+
+            return LazySensorKeyMaterial(sensor_id, self.pool, self.ring_table)
         ring = self.ring(sensor_id)
         return SensorKeyMaterial(
             sensor_id=sensor_id,

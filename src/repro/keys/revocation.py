@@ -7,12 +7,21 @@ trades speed against safety: honest sensors that happen to share more
 than ``theta`` pool keys with the adversary's combined rings can be
 framed.  Figure 7 of the paper — reproduced in
 :mod:`repro.analysis.misrevocation` — quantifies that trade-off.
+
+The revoke/threshold logic lives here once; storage is pluggable.  The
+default backend keeps the original dicts (``{sensor: ring}``, inverted
+holder lists, per-sensor counters) and is the reference semantics.
+:class:`repro.keys.soa.RingTableRevocationState` overrides the small
+storage hooks (``_ring_of``, ``_holder_ids``, ``_bump``,
+``_due_sensors`` and friends) to run the same algorithm over shared
+``int32`` arrays — event logs are identical between the two because the
+control flow never forks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Literal, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import RevocationError
 
@@ -58,8 +67,7 @@ class RevocationState:
         theta: Optional[int] = None,
         cascade: bool = False,
     ) -> None:
-        if theta is not None and theta < 1:
-            raise RevocationError("theta must be >= 1 when set")
+        self._init_scalars(theta, cascade)
         self._rings: Dict[int, Tuple[int, ...]] = {
             sensor: tuple(indices) for sensor, indices in rings.items()
         }
@@ -69,16 +77,59 @@ class RevocationState:
                 self._holders.setdefault(index, []).append(sensor)
         for holders in self._holders.values():
             holders.sort()
-        self.theta = theta
-        self.cascade = cascade
-        self._revoked_keys: Set[int] = set()
-        self._revoked_sensors: Set[int] = set()
         # Total revoked keys per ring (any reason) vs keys *exposed* by
         # individual revocations — only the latter feed the θ rule when
         # cascade is off.
         self._revoked_count: Dict[int, int] = {sensor: 0 for sensor in self._rings}
         self._exposed_count: Dict[int, int] = {sensor: 0 for sensor in self._rings}
+
+    def _init_scalars(self, theta: Optional[int], cascade: bool) -> None:
+        """Backend-independent state; subclasses call this instead of
+        ``__init__`` and provide their own ring/holder/counter storage."""
+        if theta is not None and theta < 1:
+            raise RevocationError("theta must be >= 1 when set")
+        self.theta = theta
+        self.cascade = cascade
+        self._revoked_keys: Set[int] = set()
+        self._revoked_sensors: Set[int] = set()
         self.log: List[RevocationEvent] = []
+
+    # ------------------------------------------------------------------
+    # Storage hooks (overridden by array-backed states)
+    # ------------------------------------------------------------------
+    def _known_sensor(self, sensor_id: int) -> bool:
+        return sensor_id in self._rings
+
+    def _ring_of(self, sensor_id: int) -> Sequence[int]:
+        """This sensor's sorted ring indices (Python ints)."""
+        return self._rings[sensor_id]
+
+    def _holder_ids(self, index: int) -> Sequence[int]:
+        """Ascending sensor ids holding pool key ``index``."""
+        return self._holders.get(index, ())
+
+    def _bump(self, sensors: Iterable[int], exposed: bool) -> None:
+        """Count one revoked (and possibly exposed) key against each
+        holder; ids are distinct within one call."""
+        for sensor in sensors:
+            self._revoked_count[sensor] += 1
+            if exposed:
+                self._exposed_count[sensor] += 1
+
+    def _revoked_count_of(self, sensor_id: int) -> int:
+        return self._revoked_count[sensor_id]
+
+    def _exposed_count_of(self, sensor_id: int) -> int:
+        return self._exposed_count[sensor_id]
+
+    def _due_sensors(self) -> List[int]:
+        """Unrevoked sensors at/over θ by exposed count, in deployment
+        order (registry-built states enumerate sensors ascending)."""
+        return [
+            sensor
+            for sensor, count in self._exposed_count.items()
+            if count >= self.theta and sensor not in self._revoked_sensors
+        ]
 
     # ------------------------------------------------------------------
     # Queries
@@ -99,20 +150,20 @@ class RevocationState:
 
     def revoked_ring_count(self, sensor_id: int) -> int:
         """How many of this sensor's ring keys are currently revoked."""
-        if sensor_id not in self._rings:
+        if not self._known_sensor(sensor_id):
             raise RevocationError(f"unknown sensor {sensor_id}")
-        return self._revoked_count[sensor_id]
+        return self._revoked_count_of(sensor_id)
 
     def exposed_ring_count(self, sensor_id: int) -> int:
         """How many of this sensor's ring keys were individually exposed
         (the count the θ rule uses under no-cascade semantics)."""
-        if sensor_id not in self._rings:
+        if not self._known_sensor(sensor_id):
             raise RevocationError(f"unknown sensor {sensor_id}")
-        return self._exposed_count[sensor_id]
+        return self._exposed_count_of(sensor_id)
 
     def holders_of(self, index: int) -> Tuple[int, ...]:
         """Sorted sensor ids holding pool key ``index`` (revoked or not)."""
-        return tuple(self._holders.get(index, ()))
+        return tuple(self._holder_ids(index))
 
     # ------------------------------------------------------------------
     # Mutations
@@ -142,7 +193,7 @@ class RevocationState:
         Idempotent.  The induced key revocations trigger further sensor
         revocations only under ``cascade=True``.
         """
-        if sensor_id not in self._rings:
+        if not self._known_sensor(sensor_id):
             raise RevocationError(f"unknown sensor {sensor_id}")
         if sensor_id in self._revoked_sensors:
             return []
@@ -165,7 +216,7 @@ class RevocationState:
         self._revoked_sensors.add(sensor_id)
         self.log.append(event)
         events = [event]
-        for index in self._rings[sensor_id]:
+        for index in self._ring_of(sensor_id):
             if index not in self._revoked_keys:
                 key_event = RevocationEvent(
                     kind="key", target=index, reason=f"ring of sensor {sensor_id}"
@@ -177,10 +228,7 @@ class RevocationState:
 
     def _apply_key(self, index: int, exposed: bool) -> None:
         self._revoked_keys.add(index)
-        for sensor in self._holders.get(index, ()):
-            self._revoked_count[sensor] += 1
-            if exposed:
-                self._exposed_count[sensor] += 1
+        self._bump(self._holder_ids(index), exposed)
 
     def _run_threshold(self, trigger_key: Optional[int]) -> List[RevocationEvent]:
         """Revoke every sensor whose *exposed* count is at/over θ.
@@ -193,11 +241,7 @@ class RevocationState:
             return []
         events: List[RevocationEvent] = []
         while True:
-            due = [
-                sensor
-                for sensor, count in self._exposed_count.items()
-                if count >= self.theta and sensor not in self._revoked_sensors
-            ]
+            due = self._due_sensors()
             if not due:
                 break
             for sensor in due:
@@ -220,8 +264,4 @@ class RevocationState:
         counts for reporting)."""
         if self.theta is None:
             return set()
-        return {
-            sensor
-            for sensor, count in self._exposed_count.items()
-            if count >= self.theta and sensor not in self._revoked_sensors
-        }
+        return set(self._due_sensors())

@@ -43,6 +43,11 @@ from .message import MAC_BYTES, Payload, message_digest
 from .node import HonestNode
 from .transport import SimTransport, _EMPTY_ARRIVALS
 
+try:
+    from .soa import SoATransport
+except ImportError:  # pragma: no cover - numpy not installed
+    SoATransport = None
+
 EDGE_KEY_INDEX_BYTES = 2
 
 #: Verified-MAC memo for the lazy delivery path, keyed by ``(edge key
@@ -327,11 +332,28 @@ class PhaseContext:
         # recycled; this never does).
         self.sequence = sequence
         self.current_interval = 0
-        # Frame store: the in-process SimTransport unless the network
-        # installs a factory (the service runtime does, to ship frames
-        # between OS processes while keeping this exact store contract).
+        # Frame store: the struct-of-arrays column store on the
+        # optimized path (caching enabled, no tracer watching frames as
+        # they are recorded), the classic per-receiver list store on the
+        # reference path, or whatever the network's factory supplies
+        # (the service runtime does, to ship frames between OS processes
+        # while keeping this exact store contract).
         factory = network.transport_factory
-        self.transport = SimTransport() if factory is None else factory(self)
+        if factory is not None:
+            self.transport = factory(self)
+        elif (
+            SoATransport is not None
+            and caching_enabled()
+            and network.tracer is None
+        ):
+            self.transport = SoATransport()
+        else:
+            self.transport = SimTransport()
+        self._soa = (
+            self.transport
+            if SoATransport is not None and type(self.transport) is SoATransport
+            else None
+        )
         self._payloads_per_interval: Counter = Counter()
         self.suppressed_sends = 0
 
@@ -440,6 +462,7 @@ class PhaseContext:
                 f"{physical_sender} -> {receiver} is not a radio link "
                 "(pass allow_nonneighbor=True to model a wormhole)"
             )
+        default_key = key_index is None
         if key_index is None:
             key_index = network.edge_key_index(physical_sender, receiver)
             if key_index is None:
@@ -509,7 +532,33 @@ class PhaseContext:
             # ``edge_mac``/``verified`` and shared through the
             # verified-MAC memo.  Frames failing the cheap checks are
             # sealed unverified immediately.
-            if network._precheck_accepts(receiver, key_index):
+            #
+            # For the *default* edge key the full precheck collapses: the
+            # key just came out of ``edge_key_index`` (never a revoked
+            # index) and is by definition shared by both endpoints, so a
+            # sensor receiver holds it and the only live question is
+            # whether the receiver runs honest accept logic at all.
+            if default_key:
+                accepted = receiver == BASE_STATION_ID or receiver in network.nodes
+            else:
+                accepted = network._precheck_accepts(receiver, key_index)
+            soa = self._soa
+            if soa is not None:
+                # Column store: no Delivery object at all on this path —
+                # four scalar appends per frame; reads materialize.
+                soa.deposit_columns(interval, receiver, batch, key_index, accepted)
+                network.metrics.record_transmission(physical_sender, receiver, wire)
+                if injector is not None:
+                    dup = injector.duplicate_probability(receiver)
+                    if dup > 0.0 and injector.rng.random() < dup:
+                        soa.deposit_columns(
+                            interval, receiver, batch, key_index, accepted
+                        )
+                        network.metrics.bytes_received[receiver] += wire
+                        network.metrics.messages_received[receiver] += 1
+                        network.metrics.record_fault("duplicate")
+                return
+            if accepted:
                 delivery = Delivery(batch, receiver, key_index, interval)
             else:
                 delivery = Delivery(batch, receiver, key_index, interval, verified=False)
@@ -995,23 +1044,41 @@ class _SecureTopologyView:
             node: tuple(topology.neighbors(node)) for node in topology.node_ids
         }
         self._edge_key: Dict[Tuple[int, int], Optional[int]] = {}
-        self._keyed_edges: Dict[int, Set[Tuple[int, int]]] = defaultdict(set)
+        # Inverted key -> edges map, needed only to replay key-revocation
+        # events; built lazily on the first sync (fully honest runs never
+        # pay for it).
+        self._keyed_edges: Optional[Dict[int, Set[Tuple[int, int]]]] = None
         self._adjacency: Dict[int, Set[int]] = {
             node: set() for node in topology.node_ids
         }
-        revocation = registry.revocation
-        for edge in topology.edges():
-            a, b = edge
-            index = None
-            for candidate in registry.shared_key_indices(a, b):
-                if not revocation.is_key_revoked(candidate):
-                    index = candidate
-                    break
-            self._edge_key[edge] = index
-            if index is not None:
-                self._keyed_edges[index].add(edge)
-                self._adjacency[a].add(b)
-                self._adjacency[b].add(a)
+        edges = list(topology.edges())
+        table = getattr(registry, "ring_table", None)
+        if table is not None and registry.revocation_epoch == 0 and edges:
+            # Nothing revoked yet: every edge key is the epoch-zero
+            # first-shared index, computed in bulk over region-sharded
+            # fork workers instead of one ring intersection per edge.
+            bulk = table.edge_keys([e[0] for e in edges], [e[1] for e in edges])
+            for edge, index in zip(edges, bulk.tolist()):
+                if index < 0:
+                    self._edge_key[edge] = None
+                else:
+                    self._edge_key[edge] = index
+                    a, b = edge
+                    self._adjacency[a].add(b)
+                    self._adjacency[b].add(a)
+        else:
+            revocation = registry.revocation
+            for edge in edges:
+                a, b = edge
+                index = None
+                for candidate in registry.shared_key_indices(a, b):
+                    if not revocation.is_key_revoked(candidate):
+                        index = candidate
+                        break
+                self._edge_key[edge] = index
+                if index is not None:
+                    self._adjacency[a].add(b)
+                    self._adjacency[b].add(a)
         self._epoch = registry.revocation_epoch
         self._component: Optional[Set[int]] = None
         self._depth_bound: Optional[int] = None
@@ -1023,6 +1090,16 @@ class _SecureTopologyView:
     # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
+    def _ensure_keyed_edges(self) -> Dict[int, Set[Tuple[int, int]]]:
+        keyed = self._keyed_edges
+        if keyed is None:
+            keyed = defaultdict(set)
+            for edge, index in self._edge_key.items():
+                if index is not None:
+                    keyed[index].add(edge)
+            self._keyed_edges = keyed
+        return keyed
+
     def sync(self) -> None:
         """Apply revocation-log entries recorded since the last query."""
         registry = self.network.registry
@@ -1030,10 +1107,11 @@ class _SecureTopologyView:
         if len(log) == self._epoch:
             return
         revocation = registry.revocation
+        keyed_edges = self._ensure_keyed_edges()
         for event in log[self._epoch:]:
             if event.kind != "key":
                 continue  # endpoint revocation is checked live per query
-            for edge in self._keyed_edges.pop(event.target, ()):
+            for edge in keyed_edges.pop(event.target, ()):
                 a, b = edge
                 index = None
                 for candidate in registry.shared_key_indices(a, b):
@@ -1042,7 +1120,7 @@ class _SecureTopologyView:
                         break
                 self._edge_key[edge] = index
                 if index is not None:
-                    self._keyed_edges[index].add(edge)
+                    keyed_edges[index].add(edge)
                 else:
                     self._adjacency[a].discard(b)
                     self._adjacency[b].discard(a)

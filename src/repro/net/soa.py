@@ -1,0 +1,214 @@
+"""Struct-of-arrays frame store for the interval hot path.
+
+:class:`SimTransport` keeps one Python list of :class:`Delivery` objects
+per (interval, receiver) — at 100k nodes that is hundreds of thousands
+of lists and millions of object headers per phase.  :class:`SoATransport`
+stores the same frames as four flat append-only columns per interval
+(receiver id, edge-key index, batch index, transmit-time verdict) plus
+one shared list of :class:`_SendBatch` objects, and materializes
+``Delivery`` objects *per read*:
+
+* **Deposit order is protocol semantics** (first verified beacon/veto in
+  inbox order), so reads group the receiver column with a *stable*
+  argsort — within one receiver the original deposit order is preserved
+  exactly.
+* **Reads return fresh objects.**  Honest logic and audit records
+  consume frame *values* (sender, payload, key, verdict), never object
+  identity, so materializing a frame twice is indistinguishable from
+  reading the same object twice.  Fresh objects are also what keeps the
+  store safe under the bench harness's ``gc.disable()`` windows: nothing
+  here retains a ``Delivery`` (whose batch → phase → transport edge
+  would form an uncollectable cycle); frames die by refcount as soon as
+  the caller drops them.
+* **Object deposits still work.**  ``deposit()`` (used by eager/service
+  paths and fault-injected duplicates) appends a column row like any
+  other and parks the object in a side table keyed by row position, so
+  mixed eager/lazy deposits keep one global order.
+
+The verdict column holds the transmit-time precheck outcome: ``1`` rows
+materialize with ``verified=None`` (the lazy path — resolves ``True``
+unless an adversary materializes the MAC first) and ``0`` rows with
+``verified=False``, exactly the two constructor calls the object path
+makes.  :class:`~repro.net.network.PhaseContext` only installs this
+store on the optimized path (caching enabled, no tracer, no transport
+factory); the reference path keeps :class:`SimTransport` unchanged.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Mapping
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .transport import _EMPTY_ARRIVALS
+
+#: Resolved lazily to dodge the import cycle (network.py imports this
+#: module at load time).
+_DELIVERY = None
+
+
+def _delivery_class():
+    global _DELIVERY
+    if _DELIVERY is None:
+        from .network import Delivery
+
+        _DELIVERY = Delivery
+    return _DELIVERY
+
+
+class _IntervalStore:
+    """Append-only frame columns for one interval."""
+
+    __slots__ = ("receivers", "keys", "batch_ids", "verdicts", "obj_rows",
+                 "_groups", "_grouped_rows")
+
+    def __init__(self) -> None:
+        self.receivers = array("i")
+        self.keys = array("i")
+        self.batch_ids = array("i")
+        self.verdicts = array("b")
+        # Row position -> eagerly-built Delivery, for object deposits.
+        self.obj_rows: Optional[Dict[int, object]] = None
+        # receiver -> row positions (deposit order), rebuilt whenever a
+        # read finds rows appended since the last grouping.
+        self._groups: Optional[Dict[int, np.ndarray]] = None
+        self._grouped_rows = -1
+
+    def append(self, receiver: int, key_index: int, batch_id: int, verdict: int) -> int:
+        self.receivers.append(receiver)
+        self.keys.append(key_index)
+        self.batch_ids.append(batch_id)
+        self.verdicts.append(verdict)
+        return len(self.receivers) - 1
+
+    def groups(self) -> Dict[int, np.ndarray]:
+        count = len(self.receivers)
+        if self._groups is not None and self._grouped_rows == count:
+            return self._groups
+        # ``tobytes`` copies out of the growable buffer so later appends
+        # never fight numpy's buffer-export lock.
+        recv = np.frombuffer(self.receivers.tobytes(), dtype=np.int32)
+        order = np.argsort(recv, kind="stable")
+        sorted_recv = recv[order]
+        uniques, starts = np.unique(sorted_recv, return_index=True)
+        groups: Dict[int, np.ndarray] = {}
+        bounds = starts.tolist() + [count]
+        for position, receiver in enumerate(uniques.tolist()):
+            groups[int(receiver)] = order[bounds[position]:bounds[position + 1]]
+        self._groups = groups
+        self._grouped_rows = count
+        return groups
+
+
+class SoATransport:
+    """Column frame store satisfying the transport contract."""
+
+    __slots__ = ("_stores", "_batches")
+
+    def __init__(self) -> None:
+        self._stores: Dict[int, _IntervalStore] = {}
+        self._batches: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Deposits
+    # ------------------------------------------------------------------
+    def _batch_id(self, batch: object) -> int:
+        # One send() fans one batch out to consecutive deposits, so an
+        # identity check on the tail deduplicates without a dict.
+        batches = self._batches
+        if batches and batches[-1] is batch:
+            return len(batches) - 1
+        batches.append(batch)
+        return len(batches) - 1
+
+    def deposit_columns(
+        self, interval: int, receiver: int, batch: object, key_index: int, accepted: bool
+    ) -> None:
+        """Record one frame without constructing a :class:`Delivery`."""
+        store = self._stores.get(interval)
+        if store is None:
+            store = self._stores[interval] = _IntervalStore()
+        store.append(receiver, key_index, self._batch_id(batch), 1 if accepted else 0)
+
+    def deposit(self, interval: int, receiver: int, delivery) -> None:
+        """Object deposit (eager frames, injected duplicates): keeps one
+        global row order with column deposits."""
+        store = self._stores.get(interval)
+        if store is None:
+            store = self._stores[interval] = _IntervalStore()
+        position = store.append(receiver, delivery.key_index, -1, 0)
+        if store.obj_rows is None:
+            store.obj_rows = {}
+        store.obj_rows[position] = delivery
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def frames(self, interval: int, receiver: int) -> List[object]:
+        store = self._stores.get(interval)
+        if store is None:
+            return []
+        rows = store.groups().get(receiver)
+        if rows is None:
+            return []
+        delivery_cls = _delivery_class()
+        batches = self._batches
+        obj_rows = store.obj_rows
+        keys = store.keys
+        batch_ids = store.batch_ids
+        verdicts = store.verdicts
+        out: List[object] = []
+        for position in rows.tolist():
+            if obj_rows is not None:
+                existing = obj_rows.get(position)
+                if existing is not None:
+                    out.append(existing)
+                    continue
+            out.append(
+                delivery_cls(
+                    batches[batch_ids[position]],
+                    receiver,
+                    keys[position],
+                    interval,
+                    verified=None if verdicts[position] else False,
+                )
+            )
+        return out
+
+    def arrivals(self, interval: int) -> Mapping:
+        store = self._stores.get(interval)
+        if store is None or not len(store.receivers):
+            return _EMPTY_ARRIVALS
+        return _SoAArrivals(self, interval, store)
+
+
+class _SoAArrivals(Mapping):
+    """Read-only ``receiver -> frames`` view over one interval store.
+
+    Iteration is ascending by receiver id (every consumer sorts anyway;
+    the reference mapping iterates in first-deposit order, which no code
+    path observes).  ``__getitem__`` materializes frames on demand.
+    """
+
+    __slots__ = ("_transport", "_interval", "_store")
+
+    def __init__(self, transport: SoATransport, interval: int, store: _IntervalStore) -> None:
+        self._transport = transport
+        self._interval = interval
+        self._store = store
+
+    def __getitem__(self, receiver: int) -> List[object]:
+        if receiver not in self._store.groups():
+            raise KeyError(receiver)
+        return self._transport.frames(self._interval, receiver)
+
+    def __contains__(self, receiver: object) -> bool:
+        return receiver in self._store.groups()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._store.groups()))
+
+    def __len__(self) -> int:
+        return len(self._store.groups())

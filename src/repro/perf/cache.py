@@ -96,6 +96,23 @@ class LRUCache:
     def clear(self) -> None:
         self._data.clear()
 
+    def resize(self, maxsize: int) -> None:
+        """Change the bound in place (both directions).
+
+        Shrinking evicts least-recently-used entries down to the new
+        bound (counted as evictions, like any other capacity eviction);
+        growing just raises the bound.  Either way the mapping object is
+        preserved, so :meth:`view` references stay valid.
+        """
+        if maxsize < 1:
+            raise ConfigError(
+                f"cache {self.name!r} needs maxsize >= 1, got {maxsize}"
+            )
+        self.maxsize = maxsize
+        while len(self._data) > maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
     def view(self) -> "OrderedDict[Hashable, Any]":
         """The backing mapping, for zero-overhead hot-path reads.
 
@@ -118,6 +135,49 @@ class LRUCache:
             "misses": self.misses,
             "evictions": self.evictions,
         }
+
+
+def _pow2_at_least(value: int) -> int:
+    return 1 << max(0, value - 1).bit_length()
+
+
+def autosize_caches(num_nodes: int, pool_size: int = 0) -> Dict[str, int]:
+    """Grow per-key caches to fit one deployment's working set.
+
+    The default bounds were tuned for ≤1k-node topologies; at 10k nodes
+    BENCH_scale.json showed ``hmac-keyed-states`` thrashing (12,233
+    misses, 1,813 evictions, 0 hits) because the working set — one keyed
+    state per sensor key plus one per touched pool key — no longer fit.
+    Called by ``build_deployment`` with the topology parameters, this
+    resizes the per-key caches so a single execution's working set fits
+    with slack.  Sizes are grow-only (a later small build never shrinks
+    what a big one provisioned) and rounded up to powers of two so
+    repeated builds of similar sizes are idempotent.
+
+    Returns the ``{name: maxsize}`` actually in effect for the caches it
+    manages (missing names — modules not yet imported — are skipped).
+    """
+    pool = max(0, int(pool_size))
+    nodes = max(1, int(num_nodes))
+    targets = {
+        # One keyed HMAC state per sensor key in use plus one per pool
+        # key; pool keys dominate small deployments, sensor keys large.
+        "hmac-keyed-states": nodes + min(pool, 4 * nodes) + 2048,
+        # Raw derived keys: every sensor key and pool key, once.
+        "derived-keys": nodes + pool + 2048,
+        # Wire encodings of node ids (senders/receivers).
+        "id-encodings": nodes + 1024,
+    }
+    applied: Dict[str, int] = {}
+    for name, want in targets.items():
+        cache = _REGISTRY.get(name)
+        if cache is None:
+            continue
+        size = _pow2_at_least(max(cache.maxsize, want))
+        if size != cache.maxsize:
+            cache.resize(size)
+        applied[name] = cache.maxsize
+    return applied
 
 
 def caching_enabled() -> bool:

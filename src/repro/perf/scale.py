@@ -19,19 +19,27 @@ Cells up to 1,000 nodes also run the reference path (every cache
 disabled via :func:`repro.perf.cache.disabled`) on a fresh deployment
 with the same seed and assert ``Metrics.to_dict()`` equality — the same
 bit-identity contract the microbench enforces, applied end-to-end at
-scale.  The 10,000-node cell runs optimized-only: its reference leg
-would dominate the whole suite's budget, and the contract it would
-check is already pinned by the smaller sizes.
+scale.  The 10,000- and 100,000-node cells run optimized-only: their
+reference legs would dominate the whole suite's budget, and the
+contract they would check is already pinned by the smaller sizes (and
+by ``tests/test_soa.py``'s bit-identity matrix over the SoA kernel).
 
 Line topologies stop at 1,000 nodes by design: a 10k-node line has
 depth bound ~10k, and the paper's interval loop is O(n x L) — that cell
 measures patience, not the optimization layer.  The 10k point uses a
-100x100 grid (depth bound 198).
+100x100 grid (depth bound 198); the 100k point uses a 250x400 grid and
+additionally enforces the absolute memory gate: peak bytes/node must
+stay strictly below :data:`MEMORY_BYTES_PER_NODE_GATE` (the 10k-grid
+footprint of the pre-SoA object kernel), or the cell raises.
 
 ``python -m repro bench scale`` drives this module, writes
 ``BENCH_scale.json`` and gates regressions with
-:func:`compare_scale_payloads` — on speedup ratios and completion, not
-raw wall times, so the gate travels across hardware.
+:func:`compare_scale_payloads` — on speedup ratios, bytes/node and
+completion, not raw wall times, so the gate travels across hardware.
+The comparison is sizes-aware: baseline cells whose size is absent from
+the new payload's ``sizes`` list are skipped, so CI can sweep ≤10k
+while the committed baseline keeps its 100k cell (run via
+``make bench-scale-100k``).
 """
 
 from __future__ import annotations
@@ -47,8 +55,21 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from ..errors import ReproError
 from .cache import cache_stats, clear_caches, disabled, merge_cache_stats
 
-#: Node counts the default sweep covers (the issue's 100 / 1k / 10k).
-SCALE_SIZES: Tuple[int, ...] = (100, 1_000, 10_000)
+#: Node counts the default sweep covers.  The 100k cell is the
+#: struct-of-arrays kernel's target: it only fits under the
+#: memory-per-node gate below (the object path at that size holds
+#: millions of per-node containers).
+SCALE_SIZES: Tuple[int, ...] = (100, 1_000, 10_000, 100_000)
+
+#: Cells at/above this node count must hold the memory gate.
+MEMORY_GATE_MIN_NODES = 100_000
+
+#: Peak-RSS budget per node for gated cells, in bytes: the 10k grid
+#: cell's whole-process footprint *before* the struct-of-arrays kernel
+#: (404,844 KB for 10,000 nodes, BENCH_scale.json as of the resilience
+#: PR).  A 100k run must come in strictly below the per-node footprint
+#: the object path already paid at a tenth the size.
+MEMORY_BYTES_PER_NODE_GATE = 404_844 * 1024 // 10_000
 
 #: Sizes whose cells also run the cache-disabled reference leg.  The
 #: 10k cells skip it (see module docstring).
@@ -122,6 +143,7 @@ class ScaleResult:
     events: int
     events_per_sec: float
     peak_rss_kb: int
+    bytes_per_node: float = 0.0
     ref_s: Optional[float] = None
     speedup: Optional[float] = None
     metrics_equal: Optional[bool] = None
@@ -292,6 +314,19 @@ def run_scale_cell(kind: str, nodes: int, with_reference: bool) -> ScaleResult:
                 "produced different Metrics.to_dict() — bit-identity broken"
             )
     events, storm_s = _event_storm(nodes, _depth_bound(kind, nodes))
+    # Per-node footprint from the process high-water mark.  Cells run
+    # smallest-first, so the largest cell's reading is its own peak; for
+    # the small cells the number is an upper bound only (a later reading
+    # of an earlier mark) and is recorded, not gated.
+    peak_rss_kb = _peak_rss_kb()
+    bytes_per_node = round(peak_rss_kb * 1024 / nodes, 1)
+    if nodes >= MEMORY_GATE_MIN_NODES and bytes_per_node >= MEMORY_BYTES_PER_NODE_GATE:
+        raise ReproError(
+            f"scale cell {kind}-{nodes}: {bytes_per_node:.0f} bytes/node "
+            f"(peak RSS {peak_rss_kb} KB) breaches the "
+            f"{MEMORY_BYTES_PER_NODE_GATE} bytes/node gate — the "
+            "struct-of-arrays kernel is not carrying this size"
+        )
     return ScaleResult(
         cell=f"{kind}-{nodes}",
         kind=kind,
@@ -305,7 +340,8 @@ def run_scale_cell(kind: str, nodes: int, with_reference: bool) -> ScaleResult:
         frames_per_sec=round(frames / opt_s, 2) if opt_s > 0 else 0.0,
         events=events,
         events_per_sec=round(events / storm_s, 2) if storm_s > 0 else 0.0,
-        peak_rss_kb=_peak_rss_kb(),
+        peak_rss_kb=peak_rss_kb,
+        bytes_per_node=bytes_per_node,
         ref_s=round(ref_s, 6) if ref_s is not None else None,
         speedup=(
             round(ref_s / opt_s, 2) if ref_s is not None and opt_s > 0 else None
@@ -326,6 +362,11 @@ class ScaleReport:
         return {
             "python": sys.version.split()[0],
             "seed": _SCALE_SEED,
+            # Node counts this sweep covered — the comparison gate only
+            # expects cells whose size a fresh run actually swept, so a
+            # CI smoke over the small sizes can diff against a payload
+            # that also carries the 100k cell.
+            "sizes": sorted({r.nodes for r in self.cells}),
             "cells": {
                 r.cell: {
                     "kind": r.kind,
@@ -343,6 +384,7 @@ class ScaleReport:
                     "events": r.events,
                     "events_per_sec": r.events_per_sec,
                     "peak_rss_kb": r.peak_rss_kb,
+                    "bytes_per_node": r.bytes_per_node,
                 }
                 for r in self.cells
             },
@@ -363,12 +405,13 @@ class ScaleReport:
                 r.frames_per_sec,
                 r.events_per_sec,
                 r.peak_rss_kb // 1024,
+                int(r.bytes_per_node),
             ]
             for r in self.cells
         ]
         return format_table(
             "scale cells (reference = caches disabled, same build)",
-            ["cell", "depth", "ref_s", "opt_s", "speedup", "nodes/s", "frames/s", "events/s", "rss_mb"],
+            ["cell", "depth", "ref_s", "opt_s", "speedup", "nodes/s", "frames/s", "events/s", "rss_mb", "B/node"],
             rows,
         )
 
@@ -404,10 +447,15 @@ def compare_scale_payloads(
     """Gate a fresh scale payload against a committed ``BENCH_scale.json``.
 
     Gates on what travels across hardware: per-cell **speedup ratios**
-    (one-sided — only a drop beyond ``threshold`` regresses), the
-    bit-identity flag, and cell *presence* (a vanished cell means the
-    sweep silently shrank).  Raw wall times and throughputs are recorded
-    for humans but never gated.  Returns a
+    (one-sided — only a drop beyond ``threshold`` regresses),
+    **bytes/node** (one-sided — only growth beyond ``threshold``
+    regresses; the absolute 100k gate lives in :func:`run_scale_cell`),
+    the bit-identity flag, and cell *presence* — sizes-aware: a base
+    cell only counts as missing when the fresh payload claims to have
+    swept that node count (its ``sizes`` key), so a CI smoke over the
+    small sizes diffs cleanly against a full payload carrying the 100k
+    cell.  Raw wall times and throughputs are recorded for humans but
+    never gated.  Returns a
     :class:`repro.campaign.report.ComparisonReport`.
     """
     from ..campaign.report import ComparisonReport, Regression
@@ -415,10 +463,20 @@ def compare_scale_payloads(
     report = ComparisonReport(
         base_run="BENCH_scale.json", new_run="bench-scale", threshold=threshold
     )
+    new_cells = new.get("cells") or {}
+    new_sizes = set(new.get("sizes") or ())
+    if not new_sizes:  # pre-sizes payloads: infer coverage from the cells
+        new_sizes = {
+            entry.get("nodes") for entry in new_cells.values() if entry.get("nodes")
+        }
     for cell, entry in (base.get("cells") or {}).items():
-        new_entry = (new.get("cells") or {}).get(cell)
+        new_entry = new_cells.get(cell)
         if new_entry is None:
-            report.missing_groups.append(f"scale:{cell}")
+            # Sizes-aware skip only when both sides carry size info;
+            # legacy payloads keep the strict every-cell expectation.
+            nodes = entry.get("nodes")
+            if not new_sizes or nodes is None or nodes in new_sizes:
+                report.missing_groups.append(f"scale:{cell}")
             continue
         base_speedup = entry.get("speedup")
         new_speedup = new_entry.get("speedup")
@@ -436,6 +494,22 @@ def compare_scale_payloads(
                             base_mean=float(base_speedup),
                             new_mean=float(new_speedup),
                             rel_delta=-drop,
+                        )
+                    )
+        base_bpn = entry.get("bytes_per_node")
+        new_bpn = new_entry.get("bytes_per_node")
+        if isinstance(base_bpn, (int, float)) and base_bpn > 0:
+            if isinstance(new_bpn, (int, float)):
+                report.compared += 1
+                growth = (new_bpn - base_bpn) / base_bpn
+                if growth > threshold:
+                    report.regressions.append(
+                        Regression(
+                            group=f"scale:{cell}",
+                            metric="bytes_per_node",
+                            base_mean=float(base_bpn),
+                            new_mean=float(new_bpn),
+                            rel_delta=growth,
                         )
                     )
         if new_entry.get("metrics_equal") is False:

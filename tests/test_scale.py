@@ -136,8 +136,14 @@ class TestArrivalMap:
             node for node in net.topology.node_ids if phase.inbox(node, 1)
         }
         assert set(arrived) == with_frames
+        # Compare frame *values*: the column store materializes fresh
+        # Delivery objects per read, so identity across two reads is not
+        # part of the transport contract (and nothing consumes it).
+        frame_key = lambda d: (d.sender, d.receiver, d.payload, d.key_index, d.interval)
         for node in arrived:
-            assert list(arrived[node]) == phase.inbox(node, 1)
+            assert [frame_key(d) for d in arrived[node]] == [
+                frame_key(d) for d in phase.inbox(node, 1)
+            ]
 
     def test_future_send_invisible_until_interval_begins(self, line_deployment):
         net = line_deployment.network

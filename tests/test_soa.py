@@ -1,0 +1,343 @@
+"""The struct-of-arrays simulation kernel vs the object reference path.
+
+Covers the three SoA layers (keys table, column transport, phase column
+state) plus the sharding and cache-sizing machinery around them:
+
+* bit-identity matrix — full executions, warm vs cache-disabled, over
+  line / grid / flood-heavy multipath topologies;
+* arrival-order preservation — the column store's stable grouping must
+  replay the reference deposit order exactly;
+* region sharding edge cases (empty, singleton, more shards than items);
+* ring-table rows / intersections / bulk edge keys vs per-object rings;
+* revocation parity — the array-backed state's event log vs the dict
+  backend's, entry for entry;
+* cache autosizing (grow-only) and the large-build ring-cache bypass.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import MinQuery, VMATProtocol, build_deployment, small_test_config
+from repro.errors import ConfigError
+from repro.keys.ring import ring_caches_fit, ring_indices_from_seed, ring_seed
+from repro.keys.soa import RingTable, RingTableRevocationState
+from repro.net.soa import SoATransport
+from repro.perf.cache import (
+    LRUCache,
+    autosize_caches,
+    cache_stats,
+    caching_enabled,
+    clear_caches,
+    disabled,
+)
+from repro.perf.scale import reference_equality
+from repro.perf.shard import fork_map, regions, shard_count
+from repro.topology.generators import grid_topology, line_topology
+
+
+# ----------------------------------------------------------------------
+# End-to-end bit identity: SoA kernel vs cache-disabled object path
+# ----------------------------------------------------------------------
+class TestBitIdentityMatrix:
+    @pytest.mark.parametrize(
+        "kind,nodes",
+        [("grid", 100), ("line", 100), ("grid", 400)],
+        ids=["grid-100", "line-100", "grid-400"],
+    )
+    def test_scale_cells_bit_identical(self, kind, nodes):
+        # Flood-heavy multipath cells (the scale bench's configuration):
+        # metrics and frame counts must match the disabled reference.
+        clear_caches()
+        out = reference_equality(kind, nodes, executions=2)
+        assert out["metrics_equal"] == 1.0
+        assert out["frames"] > 0
+
+    def test_single_path_line_bit_identical(self):
+        # Non-multipath, default key config — exercises the column tree
+        # path with single-parent acceptance.
+        def run():
+            deployment = build_deployment(
+                config=small_test_config(depth_bound=40),
+                topology=line_topology(30),
+                seed=9,
+            )
+            net = deployment.network
+            readings = {i: 5.0 + i for i in deployment.topology.sensor_ids}
+            result = VMATProtocol(net).execute(MinQuery(), readings)
+            assert result.produced_result
+            return net.metrics.to_dict()
+
+        with disabled():
+            reference = run()
+        clear_caches()
+        assert run() == reference
+
+
+# ----------------------------------------------------------------------
+# Arrival-order preservation under the column frame store
+# ----------------------------------------------------------------------
+class TestTransportOrder:
+    def _phase(self):
+        deployment = build_deployment(
+            config=small_test_config(depth_bound=10),
+            topology=line_topology(8),
+            seed=3,
+        )
+        net = deployment.network
+        return net, net.new_phase("t", 3)
+
+    def _send_pattern(self, net, phase):
+        from repro.net.message import TreeBeacon
+
+        phase.begin_interval(1)
+        # Interleaved senders targeting overlapping receivers: per
+        # receiver, frames must come back in send order.
+        phase.send(2, [1, 3], TreeBeacon(origin=2, hop_count=1), interval=1)
+        phase.send(4, [3, 5], TreeBeacon(origin=4, hop_count=1), interval=1)
+        phase.send(2, [1, 3], TreeBeacon(origin=2, hop_count=2), interval=1)
+        phase.send(0, [1], TreeBeacon(origin=0, hop_count=1), interval=1)
+
+    def _orders(self, phase, receivers):
+        return {
+            r: [(d.sender, d.payload.hop_count) for d in phase.inbox(r, 1)]
+            for r in receivers
+        }
+
+    def test_soa_store_replays_reference_deposit_order(self):
+        assert caching_enabled()
+        net, phase = self._phase()
+        assert type(phase.transport) is SoATransport
+        self._send_pattern(net, phase)
+        warm = self._orders(phase, (1, 3, 5))
+        with disabled():
+            net_ref, phase_ref = self._phase()
+            assert type(phase_ref.transport) is not SoATransport
+            self._send_pattern(net_ref, phase_ref)
+            reference = self._orders(phase_ref, (1, 3, 5))
+        assert warm == reference
+        assert warm[3] == [(2, 1), (4, 1), (2, 2)]
+
+    def test_arrival_map_iterates_every_receiver(self):
+        net, phase = self._phase()
+        self._send_pattern(net, phase)
+        arrived = phase.arrival_map(1)
+        assert sorted(arrived) == [1, 3, 5]
+        assert all(arrived[r] for r in arrived)
+        assert 7 not in arrived
+        with pytest.raises(KeyError):
+            arrived[7]
+
+
+def _square(x):
+    # Module-level so the fork pool can pickle it.
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# Region sharding
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_regions_cover_contiguously(self):
+        parts = regions(10, 3)
+        assert parts == [(0, 4), (4, 7), (7, 10)]
+
+    def test_regions_edge_cases(self):
+        assert regions(0, 4) == []
+        assert regions(1, 4) == [(0, 1)]  # singleton: one region, no empties
+        assert regions(3, 8) == [(0, 1), (1, 2), (2, 3)]  # shards > items
+        assert regions(5, 0) == []
+
+    def test_shard_count_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUILD_SHARDS", "3")
+        assert shard_count(1_000_000) == 3
+        monkeypatch.setenv("REPRO_BUILD_SHARDS", "1")
+        assert shard_count(1_000_000) == 1
+        monkeypatch.delenv("REPRO_BUILD_SHARDS")
+        assert shard_count(10) == 1  # below the auto-shard minimum
+
+    def test_fork_map_matches_inline(self):
+        args = list(range(7))
+        assert fork_map(_square, args, shards=1) == [x * x for x in args]
+        assert fork_map(_square, args, shards=4) == [x * x for x in args]
+
+
+# ----------------------------------------------------------------------
+# Ring table vs per-object rings
+# ----------------------------------------------------------------------
+class TestRingTable:
+    SECRET = b"soa-parity-secret"
+
+    def _config(self):
+        return small_test_config(pool_size=200, ring_size=40).keys
+
+    def test_rows_match_reference_sampler(self):
+        config = self._config()
+        table = RingTable(self.SECRET, num_nodes=12, config=config)
+        for sensor_id in range(1, 12):
+            seed = ring_seed(self.SECRET, sensor_id, cache=False)
+            reference = ring_indices_from_seed(seed, config, cache=False)
+            assert table.row_list(sensor_id) == list(reference)
+            assert all(isinstance(i, int) for i in table.row_list(sensor_id))
+
+    def test_intersect_and_holds(self):
+        config = self._config()
+        table = RingTable(self.SECRET, num_nodes=12, config=config)
+        a, b = set(table.row_list(3)), set(table.row_list(7))
+        assert table.intersect(3, 7) == tuple(sorted(a & b))
+        for index in sorted(a)[:5]:
+            assert table.holds(3, index)
+        assert not table.holds(3, min(set(range(200)) - a))
+
+    def test_bulk_edge_keys_match_per_edge(self):
+        config = self._config()
+        table = RingTable(self.SECRET, num_nodes=12, config=config)
+        heads = [0, 1, 2, 5]
+        tails = [3, 2, 9, 11]
+        bulk = table.edge_keys(heads, tails).tolist()
+        for position, (a, b) in enumerate(zip(heads, tails)):
+            if a == 0:
+                expected = table.row_list(b)[0]
+            elif b == 0:
+                expected = table.row_list(a)[0]
+            else:
+                shared = table.intersect(a, b)
+                expected = shared[0] if shared else -1
+            assert bulk[position] == expected
+
+
+# ----------------------------------------------------------------------
+# Revocation parity: array-backed state vs dict backend
+# ----------------------------------------------------------------------
+class TestRevocationParity:
+    def _pair(self, theta, cascade):
+        from repro.keys.revocation import RevocationState
+
+        config = small_test_config(pool_size=60, ring_size=12).keys
+        table = RingTable(b"revocation-parity", num_nodes=10, config=config)
+        array_state = RingTableRevocationState(table, theta=theta, cascade=cascade)
+        rings = {s: tuple(table.row_list(s)) for s in range(1, 10)}
+        dict_state = RevocationState(rings, theta=theta, cascade=cascade)
+        return array_state, dict_state
+
+    @pytest.mark.parametrize("cascade", [False, True])
+    def test_event_logs_identical(self, cascade):
+        array_state, dict_state = self._pair(theta=3, cascade=cascade)
+        script = list(dict_state._rings[1][:4]) + list(dict_state._rings[2][:2])
+        for index in script:
+            assert array_state.revoke_key(index) == dict_state.revoke_key(index)
+        assert array_state.revoke_sensor(5) == dict_state.revoke_sensor(5)
+        assert array_state.log == dict_state.log
+        assert array_state.revoked_keys == dict_state.revoked_keys
+        assert array_state.revoked_sensors == dict_state.revoked_sensors
+        for sensor in range(1, 10):
+            assert array_state.revoked_ring_count(sensor) == dict_state.revoked_ring_count(sensor)
+            assert array_state.exposed_ring_count(sensor) == dict_state.exposed_ring_count(sensor)
+        assert array_state.threshold_pending() == dict_state.threshold_pending()
+
+    def test_holders_identical(self):
+        array_state, dict_state = self._pair(theta=None, cascade=False)
+        for index in range(60):
+            assert array_state.holders_of(index) == dict_state.holders_of(index)
+            assert all(isinstance(s, int) for s in array_state.holders_of(index))
+
+
+# ----------------------------------------------------------------------
+# Cache autosizing and the large-build ring-cache bypass
+# ----------------------------------------------------------------------
+class TestCacheSizing:
+    def test_autosize_grows_and_never_shrinks(self):
+        applied = autosize_caches(5_000, pool_size=16_384)
+        assert applied["hmac-keyed-states"] >= 5_000 + 2048
+        # Power-of-two rounded.
+        assert all(size & (size - 1) == 0 for size in applied.values())
+        # Grow-only: a smaller deployment later keeps the larger sizing.
+        again = autosize_caches(10, pool_size=10)
+        for name, size in applied.items():
+            assert again.get(name, size) >= size
+
+    def test_autosized_build_stops_hmac_evictions(self):
+        clear_caches()
+        deployment = build_deployment(
+            config=small_test_config(depth_bound=30, pool_size=2_048, ring_size=60),
+            topology=grid_topology(12, 12),
+            seed=5,
+        )
+        readings = {i: 1.0 + i for i in deployment.topology.sensor_ids}
+        result = VMATProtocol(deployment.network).execute(MinQuery(), readings)
+        assert result.produced_result
+        stats = cache_stats()["hmac-keyed-states"]
+        assert stats["evictions"] == 0
+        assert stats["hits"] > 0
+
+    def test_ring_cache_fit_threshold(self):
+        from repro.keys.ring import _RING_SELECTIONS
+
+        assert ring_caches_fit(_RING_SELECTIONS.maxsize)
+        assert not ring_caches_fit(_RING_SELECTIONS.maxsize + 1)
+
+    def test_uncached_ring_derivation_matches_cached(self):
+        clear_caches()
+        config = small_test_config(pool_size=300, ring_size=25).keys
+        cached_seed = ring_seed(b"bypass-parity", 4)
+        direct_seed = ring_seed(b"bypass-parity", 4, cache=False)
+        assert cached_seed == direct_seed
+        assert ring_indices_from_seed(direct_seed, config, cache=False) == (
+            ring_indices_from_seed(cached_seed, config)
+        )
+
+    def test_resize_evicts_down_and_validates(self):
+        cache = LRUCache("soa-test-resize", maxsize=8)
+        for i in range(8):
+            cache.put(i, i)
+        cache.resize(2)
+        assert len(cache.view()) == 2
+        assert cache.evictions == 6
+        with pytest.raises(ConfigError):
+            cache.resize(0)
+
+
+# ----------------------------------------------------------------------
+# Registry backend selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_warm_build_uses_table_backend(self):
+        assert caching_enabled()
+        deployment = build_deployment(
+            config=small_test_config(depth_bound=10),
+            topology=line_topology(6),
+            seed=1,
+        )
+        assert deployment.registry.ring_table is not None
+        assert isinstance(deployment.registry.revocation, RingTableRevocationState)
+
+    def test_disabled_build_uses_object_backend(self):
+        with disabled():
+            deployment = build_deployment(
+                config=small_test_config(depth_bound=10),
+                topology=line_topology(6),
+                seed=1,
+            )
+            assert deployment.registry.ring_table is None
+            assert not isinstance(
+                deployment.registry.revocation, RingTableRevocationState
+            )
+
+    def test_backends_agree_on_registry_api(self):
+        topology = line_topology(6)
+        config = small_test_config(depth_bound=10)
+        warm = build_deployment(config=config, topology=topology, seed=2).registry
+        with disabled():
+            ref = build_deployment(config=config, topology=topology, seed=2).registry
+        for sensor in range(1, 6):
+            assert warm.ring(sensor).indices == ref.ring(sensor).indices
+            warm_mat = warm.sensor_deployment_material(sensor)
+            ref_mat = ref.sensor_deployment_material(sensor)
+            assert warm_mat.ring_indices == ref_mat.ring_indices
+            assert warm_mat.sensor_key == ref_mat.sensor_key
+            assert warm_mat.all_keys == ref_mat.all_keys
+        for a in range(6):
+            for b in range(a + 1, 6):
+                assert warm.shared_key_indices(a, b) == ref.shared_key_indices(a, b)
+                assert warm.edge_key_index(a, b) == ref.edge_key_index(a, b)
