@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-scale bench-scale-100k report examples figures service-smoke service-chaos all clean
+.PHONY: install test bench bench-scale bench-scale-100k report examples figures service-smoke service-chaos tournament-smoke all clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -60,6 +60,39 @@ service-chaos:
 		--detection-window 2 --heartbeat-interval 0.2 --restart-budget 2 \
 		--profile stop --chaos-seed 1
 	rm -f .chaos-a.json .chaos-b.json
+
+# Adversary-tournament gate (docs/ADVERSARIES.md): the 2x2x2 smoke
+# grid (2 zoo strategies x 2 predtests x 2 topologies) runs twice --
+# parallel then inline -- with honest-node-safety and
+# revocation-progress asserted inside every cell.  The two stores must
+# diff clean at zero tolerance, and the regenerated ranking must match
+# the committed BENCH_tournament.json baseline exactly.
+tournament-smoke:
+	$(PYTHON) -m repro campaign tournament run \
+		--strategy drop-minimum,spurious-veto --predtest truthful,deny \
+		--topology line-10,grid-16 --profile none --executions 2 \
+		--jobs 2 --name tournament-a --store .campaigns
+	$(PYTHON) -m repro campaign tournament run \
+		--strategy drop-minimum,spurious-veto --predtest truthful,deny \
+		--topology line-10,grid-16 --profile none --executions 2 \
+		--jobs 1 --name tournament-b --store .campaigns
+	$(PYTHON) -c "import sys; \
+	from repro.campaign import ResultStore, compare_runs; \
+	store = ResultStore('.campaigns'); \
+	runs = {r.read_manifest()['name']: r for r in store.list_runs()}; \
+	report = compare_runs(runs['tournament-a'], runs['tournament-b'], threshold=0.0); \
+	print(report.render()); sys.exit(0 if report.passed else 1)"
+	$(PYTHON) -m repro campaign tournament report latest --store .campaigns \
+		--output .bench-tournament.json
+	$(PYTHON) -c "import json, sys; \
+	fresh = json.load(open('.bench-tournament.json')); \
+	base = json.load(open('BENCH_tournament.json')); \
+	bad = [k for k in ('ranking', 'groups', 'cells_ok', 'cells_failed') \
+		if fresh.get(k) != base.get(k)]; \
+	print('ranking matches committed baseline' if not bad \
+		else 'baseline drift in ' + ', '.join(bad)); \
+	sys.exit(1 if bad else 0)"
+	rm -f .bench-tournament.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -10,57 +10,92 @@ HMACs, not by convention.
 :class:`~repro.adversary.base.Adversary` owns the compromised state and
 dispatches per-interval hooks to a :class:`~repro.adversary.base.Strategy`.
 The base strategy mimics honest behaviour exactly (a compromised-but-
-passive sensor); concrete attacks in :mod:`~repro.adversary.strategies`
-override individual hooks:
+passive sensor); concrete attacks live in the
+:mod:`~repro.adversary.strategies` package, split by family:
 
-* :class:`DropMinimumStrategy` — silently drop child values (§IV-B).
-* :class:`HideAndVetoStrategy` — report a huge value, then legitimately
-  veto it (§IV-C "a malicious sensor can generate a valid veto").
-* :class:`JunkMinimumStrategy` — inject a spurious minimum (§IV-B).
-* :class:`SpuriousVetoStrategy` — choke the confirmation phase with
-  spurious vetoes to beat the legitimate one (§IV-C).
-* :class:`WormholeStrategy` — tunnel tree beacons to inflate hop counts
-  (Figure 2(c)); harmless against timestamp levels.
-* :class:`ChokingFloodStrategy` — brute junk flooding, the attack that
-  breaks unverifiable-relay baselines but not VMAT.
-* Predicate-test policies (deny / lie-yes / coin-flip) composable with
-  the above via the ``predtest`` parameter.
+* **classic** single-node attacks (§II–IV): drop-minimum, hide-and-veto,
+  junk-minimum, spurious-veto, wormhole, choking-flood, relay-drop,
+  replay, framing-choke-mix — plus predicate-test policies (deny /
+  lie-yes / coin-flip) composable via the ``predtest`` parameter;
+* **adaptive** per-round schedules: escalation
+  (:class:`AdaptiveStrategy`), honest/cheating bursts
+  (:class:`BurstStrategy`), greedy best response to observed detection
+  pressure (:class:`BestResponseStrategy`);
+* **colluding** coordinated multi-node plans:
+  cover-for-accomplice decoy vetoes, split framing/choking roles, and
+  the heterogeneous :class:`PerNodeStrategy` dispatcher.
+
+:mod:`~repro.adversary.zoo` is the name → metadata registry over all of
+them: capability class, paper section, and a machine-checkable
+expected-detection contract per strategy (see docs/ADVERSARIES.md).
 """
 
 from .base import Adversary, MaliciousNodeState, Strategy
 from .strategies import (
     STRATEGY_REGISTRY,
-    make_strategy,
     AdaptiveStrategy,
+    BestResponseStrategy,
+    BurstStrategy,
     ChokingFloodStrategy,
-    PolicyStrategy,
+    ColludingStrategy,
+    CoverForAccompliceStrategy,
     DropMinimumStrategy,
+    FramingChokeMixStrategy,
     HideAndVetoStrategy,
     JunkMinimumStrategy,
     PassiveStrategy,
     PerNodeStrategy,
+    PolicyStrategy,
     RelayDropStrategy,
     ReplayStrategy,
+    SplitRolesStrategy,
     SpuriousVetoStrategy,
     WormholeStrategy,
+    ZooWormholeStrategy,
+    make_strategy,
+)
+from .zoo import (
+    CAPABILITY_CLASSES,
+    FAMILIES,
+    OUTCOME_CLASSES,
+    ZOO,
+    DetectionContract,
+    StrategyInfo,
+    strategy_from_spec,
+    strategy_spec,
 )
 
 __all__ = [
     "AdaptiveStrategy",
     "Adversary",
+    "BestResponseStrategy",
+    "BurstStrategy",
+    "CAPABILITY_CLASSES",
     "ChokingFloodStrategy",
+    "ColludingStrategy",
+    "CoverForAccompliceStrategy",
+    "DetectionContract",
     "DropMinimumStrategy",
+    "FAMILIES",
+    "FramingChokeMixStrategy",
     "HideAndVetoStrategy",
     "JunkMinimumStrategy",
     "MaliciousNodeState",
+    "OUTCOME_CLASSES",
     "PassiveStrategy",
     "PerNodeStrategy",
     "PolicyStrategy",
     "RelayDropStrategy",
     "ReplayStrategy",
     "STRATEGY_REGISTRY",
+    "SplitRolesStrategy",
     "SpuriousVetoStrategy",
     "Strategy",
-    "make_strategy",
+    "StrategyInfo",
     "WormholeStrategy",
+    "ZOO",
+    "ZooWormholeStrategy",
+    "make_strategy",
+    "strategy_from_spec",
+    "strategy_spec",
 ]

@@ -1,0 +1,77 @@
+"""Attack strategies, split by family.
+
+* :mod:`~repro.adversary.strategies.classic` — single-node attacks from
+  the paper's Sections II–IV (drop, junk, veto, wormhole, flood…).
+* :mod:`~repro.adversary.strategies.adaptive` — per-round schedules:
+  escalation, honest/cheating bursts, best response to detection
+  pressure.
+* :mod:`~repro.adversary.strategies.colluding` — coordinated multi-node
+  plans (cover-for-accomplice vetoes, split framing/choking roles) and
+  the heterogeneous per-node dispatcher.
+
+This package re-exports everything the old single-module path
+(``repro.adversary.strategies``) exported, including the zoo registry's
+``make_strategy``/``STRATEGY_REGISTRY``.
+"""
+
+from .adaptive import AdaptiveStrategy, BestResponseStrategy, BurstStrategy
+from .classic import (
+    ChokingFloodStrategy,
+    DropMinimumStrategy,
+    FramingChokeMixStrategy,
+    HideAndVetoStrategy,
+    JunkMinimumStrategy,
+    PassiveStrategy,
+    PolicyStrategy,
+    RelayDropStrategy,
+    ReplayStrategy,
+    SpuriousVetoStrategy,
+    WormholeStrategy,
+    ZooWormholeStrategy,
+)
+from .colluding import (
+    ColludingStrategy,
+    CoverForAccompliceStrategy,
+    PerNodeStrategy,
+    SplitRolesStrategy,
+)
+
+#: Zoo re-exports are lazy (PEP 562): :mod:`repro.adversary.zoo` imports
+#: the family modules above, so an eager import here would be circular
+#: whenever ``repro.adversary.zoo`` is imported first.
+_ZOO_EXPORTS = ("STRATEGY_REGISTRY", "ZOO", "make_strategy", "strategy_from_spec", "strategy_spec")
+
+
+def __getattr__(name):
+    if name in _ZOO_EXPORTS:
+        from .. import zoo
+
+        return getattr(zoo, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AdaptiveStrategy",
+    "BestResponseStrategy",
+    "BurstStrategy",
+    "ChokingFloodStrategy",
+    "ColludingStrategy",
+    "CoverForAccompliceStrategy",
+    "DropMinimumStrategy",
+    "FramingChokeMixStrategy",
+    "HideAndVetoStrategy",
+    "JunkMinimumStrategy",
+    "PassiveStrategy",
+    "PerNodeStrategy",
+    "PolicyStrategy",
+    "RelayDropStrategy",
+    "ReplayStrategy",
+    "STRATEGY_REGISTRY",
+    "SplitRolesStrategy",
+    "SpuriousVetoStrategy",
+    "WormholeStrategy",
+    "ZOO",
+    "ZooWormholeStrategy",
+    "make_strategy",
+    "strategy_from_spec",
+    "strategy_spec",
+]

@@ -1,9 +1,13 @@
-"""Concrete attack strategies (Section III attack model, Section IV attacks).
+"""Classic single-node attack strategies (Section III/IV attack model).
 
 Every strategy is "honest except for X": it inherits the full mimicry of
 :class:`~repro.adversary.base.Strategy` and overrides only the hooks
 where it deviates, so attacks compose with normal protocol participation
-exactly as a real compromised sensor would.
+exactly as a real compromised sensor would.  Adaptive (per-round
+schedule) strategies live in :mod:`repro.adversary.strategies.adaptive`,
+coordinated multi-node plans in
+:mod:`repro.adversary.strategies.colluding`, and the name → metadata
+registry in :mod:`repro.adversary.zoo`.
 
 All strategies accept a ``predtest`` policy controlling behaviour under
 the keyed predicate tests of the pinpointing protocols:
@@ -20,11 +24,11 @@ the keyed predicate tests of the pinpointing protocols:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from ..errors import ProtocolError
-from ..net.message import ReadingMessage, TreeBeacon, VetoMessage
-from .base import Adversary, Strategy
+from ...errors import ProtocolError
+from ...net.message import ReadingMessage, TreeBeacon
+from ..base import Adversary, Strategy
 
 _POLICIES = ("truthful", "deny", "lie_yes", "coin")
 
@@ -289,134 +293,55 @@ class ReplayStrategy(PolicyStrategy):
         return list(state.best)
 
 
-class AdaptiveStrategy(PolicyStrategy):
-    """An adaptive Byzantine schedule (the paper's model explicitly
-    "allow[s] malicious sensors to behave arbitrarily and adaptively").
+class FramingChokeMixStrategy(JunkMinimumStrategy):
+    """Framing-vs-choking mix on a single sensor: inject a junk minimum
+    that frames an honest sensor during aggregation *and* race the
+    confirmation phase with a spurious veto claiming the same victim.
 
-    The strategy escalates based on how much of its key material the
-    base station has already revoked:
-
-    * **lurk** — behave exactly honestly (and answer predicate tests
-      truthfully) until ``patience`` executions have passed;
-    * **drop** — silently drop child minima, denying predicate tests,
-      until ``escalate_after`` of its keys have been individually
-      revoked;
-    * **junk** — switch to spurious-minimum injection for the endgame.
-
-    Nothing in the schedule helps it: Lemmas 4/5 hold per execution, so
-    each phase just selects *which* adversary key gets revoked next.
+    The two trails are independent — whichever reaches the base station
+    first triggers its own pinpoint walk, and both end at this sensor's
+    audit boundary (Section VI-B twice over).  Mixing buys the adversary
+    nothing but loses key material on two fronts; the tournament report
+    makes that trade-off measurable.
     """
 
-    def __init__(self, patience: int = 2, escalate_after: int = 3) -> None:
-        super().__init__(predtest="truthful")
-        self.patience = patience
-        self.escalate_after = escalate_after
-        self._executions = 0
-        self.mode = "lurk"
+    def __init__(
+        self,
+        junk_value: float = -1.0,
+        claimed_id: Optional[int] = None,
+        predtest: str = "deny",
+    ) -> None:
+        super().__init__(junk_value=junk_value, claimed_id=claimed_id, predtest=predtest)
+        self.fake_level = 1
 
-    def begin_execution(self, adv: Adversary) -> None:
-        self._executions += 1
-        revocation = adv.network.registry.revocation
-        exposed = sum(
-            revocation.exposed_ring_count(node_id) for node_id in adv.state
-            if not revocation.is_sensor_revoked(node_id)
-        )
-        if self._executions <= self.patience:
-            self.mode = "lurk"
-        elif exposed < self.escalate_after:
-            self.mode = "drop"
-        else:
-            self.mode = "junk"
-
-    def predtest_answer(self, adv: Adversary, ctx, node_id: int, truthful: bool) -> bool:
-        if self.mode == "lurk":
-            return truthful
-        return False  # deny once hostile
-
-    def agg_select(self, adv: Adversary, ctx, node_id: int) -> List[ReadingMessage]:
-        state = adv.state[node_id]
-        if self.mode == "lurk":
-            return list(state.best)
-        if self.mode == "drop":
-            return list(state.own_messages)
-        honest = sorted(set(adv.network.nodes) - {node_id})
-        claimed = honest[0] if honest else node_id
-        return [
-            adv.forge_reading(claimed, -1.0, instance=m.instance, salt=self._executions)
-            for m in state.own_messages
-        ]
+    def conf_interval(self, adv: Adversary, ctx, node_id: int, k: int) -> None:
+        SpuriousVetoStrategy.conf_interval(self, adv, ctx, node_id, k)
 
 
-class PerNodeStrategy(Strategy):
-    """Heterogeneous adversary: a different strategy per compromised
-    sensor (e.g. one dropper deep in the network while a neighbour of
-    the base station chokes the confirmation phase).
+class ZooWormholeStrategy(WormholeStrategy):
+    """Registry-friendly wormhole: endpoints picked at bind time.
 
-    Unassigned sensors fall back to ``default`` (honest mimicry unless
-    overridden).  Byzantine generals need not agree on a playbook.
+    :class:`WormholeStrategy` needs explicit ``entry``/``exit`` sensors;
+    the zoo registry requires construction from ``predtest`` alone, so
+    this variant tunnels between the two extreme compromised ids (with a
+    single compromised sensor it degenerates to a local replay, which is
+    equally harmless against timestamp levels).
     """
 
-    def __init__(self, assignments: dict, default: Optional[Strategy] = None) -> None:
-        self.assignments = dict(assignments)
-        self.default = default if default is not None else PassiveStrategy()
+    def __init__(self, predtest: str = "deny") -> None:
+        super().__init__(entry=-1, exit=-1, predtest=predtest)
 
     def bind(self, adversary: Adversary) -> None:
-        for strategy in self._all_strategies():
-            strategy.bind(adversary)
+        ids = sorted(adversary.network.malicious_ids)
+        if ids:
+            self.entry = ids[0]
+            self.exit = ids[-1]
 
-    def begin_execution(self, adv: Adversary) -> None:
-        for strategy in self._all_strategies():
-            strategy.begin_execution(adv)
-
-    def _all_strategies(self):
-        seen = []
-        for strategy in list(self.assignments.values()) + [self.default]:
-            if all(strategy is not s for s in seen):
-                seen.append(strategy)
-        return seen
-
-    def _for(self, node_id: int) -> Strategy:
-        return self.assignments.get(node_id, self.default)
-
-    def tree_interval(self, adv, ctx, node_id, k):
-        self._for(node_id).tree_interval(adv, ctx, node_id, k)
-
-    def agg_interval(self, adv, ctx, node_id, k):
-        self._for(node_id).agg_interval(adv, ctx, node_id, k)
-
-    def conf_interval(self, adv, ctx, node_id, k):
-        self._for(node_id).conf_interval(adv, ctx, node_id, k)
-
-    def predtest_interval(self, adv, ctx, node_id, k):
-        self._for(node_id).predtest_interval(adv, ctx, node_id, k)
-
-    def predtest_answer(self, adv, ctx, node_id, truthful):
-        return self._for(node_id).predtest_answer(adv, ctx, node_id, truthful)
-
-
-# ----------------------------------------------------------------------
-# Named registry (CLI demos, the adversary fuzzer)
-# ----------------------------------------------------------------------
-
-#: Policy-strategy constructors addressable by name.  The fuzzer
-#: (:mod:`repro.invariants.fuzz`) random-walks this registry, so every
-#: entry must be constructible from ``predtest`` alone and deterministic
-#: given the adversary's seed.
-STRATEGY_REGISTRY = {
-    "passive": PassiveStrategy,
-    "drop-minimum": DropMinimumStrategy,
-    "hide-and-veto": HideAndVetoStrategy,
-    "junk-minimum": JunkMinimumStrategy,
-    "spurious-veto": SpuriousVetoStrategy,
-}
-
-
-def make_strategy(name: str, predtest: str = "truthful") -> PolicyStrategy:
-    """Instantiate a registered strategy by name with a predtest policy."""
-    try:
-        factory = STRATEGY_REGISTRY[name]
-    except KeyError:
-        raise ProtocolError(
-            f"unknown strategy {name!r}; registered: {sorted(STRATEGY_REGISTRY)}"
-        ) from None
-    return factory(predtest=predtest)
+    def tree_interval(self, adv: Adversary, ctx, node_id: int, k: int) -> None:
+        super().tree_interval(adv, ctx, node_id, k)
+        if node_id in (self.entry, self.exit):
+            # Unlike the raw wormhole, endpoints also join the tree
+            # honestly: the tunnel is a *side channel*, not an opt-out,
+            # so the attack's only lever is the inflated replay — which
+            # timestamp levels ignore (the "harmless" contract).
+            Strategy.tree_interval(self, adv, ctx, node_id, k)

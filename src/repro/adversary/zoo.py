@@ -1,0 +1,339 @@
+"""The adversary zoo: a name → metadata registry over every strategy.
+
+Each entry records *what the paper says must happen* when VMAT faces
+that strategy — the :class:`DetectionContract` — alongside provenance
+(paper section) and the capability class the strategy needs
+(``single-node`` vs ``colluding``).  The registry is the single source
+of truth for:
+
+* the CLI and service runtime (``make_strategy`` by name),
+* the invariant fuzzer (:mod:`repro.invariants.fuzz` samples it),
+* the tournament grid (:mod:`repro.campaign.tournament`),
+* the table-driven contract tests (``tests/test_adversary_zoo.py``
+  fails collection if a registered strategy lacks a contract).
+
+Outcome classes
+---------------
+
+``revoked``
+    Pinpointing revokes adversary key material (and, per Lemmas 4/5,
+    never an honest sensor's) within ``executions`` executions.
+``harmless``
+    The attack has no effect against VMAT: every execution returns the
+    correct result and nothing is revoked.
+``choked-but-safe``
+    The attack degrades the answer (the estimate covers only the
+    reachable honest component) without giving pinpointing a handle —
+    but still no honest revocation and no wrong accepted value.
+``inconclusive-under-faults``
+    With benign faults active, absence-based pinpointing must defer to
+    INCONCLUSIVE rather than revoke (the PR-2 degradation contract);
+    honest sensors stay safe throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..errors import ProtocolError
+from .base import Strategy
+from .strategies.adaptive import AdaptiveStrategy, BestResponseStrategy, BurstStrategy
+from .strategies.classic import (
+    ChokingFloodStrategy,
+    DropMinimumStrategy,
+    FramingChokeMixStrategy,
+    HideAndVetoStrategy,
+    JunkMinimumStrategy,
+    PassiveStrategy,
+    RelayDropStrategy,
+    ReplayStrategy,
+    SpuriousVetoStrategy,
+    ZooWormholeStrategy,
+)
+from .strategies.colluding import CoverForAccompliceStrategy, SplitRolesStrategy
+
+OUTCOME_CLASSES = (
+    "revoked",
+    "harmless",
+    "choked-but-safe",
+    "inconclusive-under-faults",
+)
+
+CAPABILITY_CLASSES = ("single-node", "colluding")
+
+FAMILIES = ("classic", "adaptive", "colluding")
+
+
+@dataclass(frozen=True)
+class DetectionContract:
+    """What VMAT is expected to do about a strategy — machine-checkable.
+
+    ``predtest``/``faults``/``executions``/``min_malicious`` pin the
+    scenario under which ``outcome`` is asserted; the contract tests and
+    every tournament cell enforce honest-node safety regardless.
+    """
+
+    outcome: str
+    predtest: str = "truthful"
+    faults: bool = False
+    executions: int = 1
+    min_malicious: int = 1
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOME_CLASSES:
+            raise ProtocolError(
+                f"unknown outcome class {self.outcome!r}; use one of {OUTCOME_CLASSES}"
+            )
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """Registry metadata for one zoo strategy."""
+
+    name: str
+    family: str
+    capability: str
+    section: str
+    description: str
+    contract: DetectionContract
+    factory: Callable[..., Strategy]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ProtocolError(f"unknown family {self.family!r}; use one of {FAMILIES}")
+        if self.capability not in CAPABILITY_CLASSES:
+            raise ProtocolError(
+                f"unknown capability {self.capability!r}; use one of {CAPABILITY_CLASSES}"
+            )
+
+    def build(self, predtest: Optional[str] = None) -> Strategy:
+        if predtest is None:
+            predtest = self.contract.predtest
+        strategy = self.factory(predtest=predtest, **dict(self.params))
+        strategy.zoo_name = self.name
+        return strategy
+
+
+def _info(
+    name: str,
+    family: str,
+    capability: str,
+    section: str,
+    description: str,
+    contract: DetectionContract,
+    factory: Callable[..., Strategy],
+    **params: Any,
+) -> StrategyInfo:
+    return StrategyInfo(
+        name=name,
+        family=family,
+        capability=capability,
+        section=section,
+        description=description,
+        contract=contract,
+        factory=factory,
+        params=params,
+    )
+
+
+#: Every named strategy, with metadata.  Additions MUST carry a
+#: contract: ``tests/test_adversary_zoo.py`` derives its table from this
+#: dict and fails collection on a divergence with the strategy modules.
+ZOO: Dict[str, StrategyInfo] = {
+    entry.name: entry
+    for entry in (
+        _info(
+            "passive",
+            "classic",
+            "single-node",
+            "III",
+            "Compromised but (so far) exactly honest; the control row.",
+            DetectionContract(outcome="harmless"),
+            PassiveStrategy,
+        ),
+        _info(
+            "drop-minimum",
+            "classic",
+            "single-node",
+            "IV-B",
+            "Silently drop child minima; forward only own readings.",
+            DetectionContract(outcome="revoked"),
+            DropMinimumStrategy,
+        ),
+        _info(
+            "hide-and-veto",
+            "classic",
+            "single-node",
+            "IV-C",
+            "Report a huge value, then legitimately veto the result.",
+            DetectionContract(outcome="revoked"),
+            HideAndVetoStrategy,
+        ),
+        _info(
+            "junk-minimum",
+            "classic",
+            "single-node",
+            "IV-B",
+            "Inject a spurious minimum framing an honest sensor.",
+            DetectionContract(outcome="revoked", predtest="deny"),
+            JunkMinimumStrategy,
+        ),
+        _info(
+            "spurious-veto",
+            "classic",
+            "single-node",
+            "IV-C",
+            "Race the confirmation phase with a forged interval-1 veto.",
+            DetectionContract(outcome="revoked", predtest="deny"),
+            SpuriousVetoStrategy,
+        ),
+        _info(
+            "choking-flood",
+            "classic",
+            "single-node",
+            "II",
+            "Burn all forwarding capacity on distinct junk vetoes each interval.",
+            DetectionContract(outcome="revoked", predtest="deny"),
+            ChokingFloodStrategy,
+        ),
+        _info(
+            "relay-drop",
+            "classic",
+            "single-node",
+            "IV-B",
+            "Stay embedded in the tree but relay nothing in later phases.",
+            DetectionContract(outcome="choked-but-safe"),
+            RelayDropStrategy,
+        ),
+        _info(
+            "replay",
+            "classic",
+            "single-node",
+            "IV-B",
+            "Replay the previous execution's minimum against nonce freshness.",
+            DetectionContract(outcome="revoked", predtest="deny", executions=2),
+            ReplayStrategy,
+        ),
+        _info(
+            "wormhole",
+            "colluding",
+            "colluding",
+            "II",
+            "Tunnel tree beacons between the extreme compromised sensors.",
+            DetectionContract(outcome="harmless", predtest="deny"),
+            ZooWormholeStrategy,
+        ),
+        _info(
+            "framing-choke-mix",
+            "classic",
+            "single-node",
+            "IV-B/IV-C",
+            "Junk minimum framing a victim plus a spurious veto on the same victim.",
+            DetectionContract(outcome="revoked", predtest="deny"),
+            FramingChokeMixStrategy,
+        ),
+        _info(
+            "adaptive",
+            "adaptive",
+            "single-node",
+            "III",
+            "Lurk, then drop, then junk — escalating with revocation pressure.",
+            DetectionContract(outcome="revoked", executions=4),
+            AdaptiveStrategy,
+        ),
+        _info(
+            "burst",
+            "adaptive",
+            "single-node",
+            "IV-C",
+            "Mostly honest with periodic recorded-forged-veto bursts (ShadowModel).",
+            DetectionContract(outcome="inconclusive-under-faults", faults=True, executions=2),
+            BurstStrategy,
+        ),
+        _info(
+            "burst-junk",
+            "adaptive",
+            "single-node",
+            "IV-B",
+            "Mostly honest with periodic junk-minimum bursts.",
+            DetectionContract(outcome="revoked", predtest="deny", executions=2),
+            BurstStrategy,
+            cheat="junk",
+        ),
+        _info(
+            "best-response",
+            "adaptive",
+            "single-node",
+            "III",
+            "Greedy per-round action selection from observed detection pressure.",
+            DetectionContract(outcome="revoked", executions=2),
+            BestResponseStrategy,
+        ),
+        _info(
+            "cover-accomplice",
+            "colluding",
+            "colluding",
+            "IV-B/IV-C",
+            "One dropper; colluders bury the honest veto under valid decoy vetoes.",
+            DetectionContract(outcome="revoked", min_malicious=2, executions=2),
+            CoverForAccompliceStrategy,
+        ),
+        _info(
+            "split-roles",
+            "colluding",
+            "colluding",
+            "IV-B/IV-C",
+            "Even-position colluders frame one victim; odd-position ones choke.",
+            DetectionContract(outcome="revoked", predtest="deny", min_malicious=2),
+            SplitRolesStrategy,
+        ),
+    )
+}
+
+#: Back-compat constructor view (the PR-4 fuzzer and older tests expect a
+#: name → callable map; each callable accepts ``predtest=``).
+STRATEGY_REGISTRY: Dict[str, Callable[..., Strategy]] = {
+    name: info.factory for name, info in ZOO.items() if not info.params
+}
+
+
+def make_strategy(name: str, predtest: Optional[str] = None) -> Strategy:
+    """Instantiate a zoo strategy by name.
+
+    ``predtest=None`` uses the predtest policy pinned by the strategy's
+    detection contract, so ``make_strategy(name)`` always builds the
+    configuration the contract tests certify.
+    """
+    try:
+        info = ZOO[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown strategy {name!r}; registered: {sorted(ZOO)}"
+        ) from None
+    return info.build(predtest=predtest)
+
+
+def strategy_spec(strategy: Strategy) -> Dict[str, Any]:
+    """The JSON-safe spec a zoo-built strategy round-trips through."""
+    name = getattr(strategy, "zoo_name", None)
+    if name is None or name not in ZOO:
+        raise ProtocolError(
+            f"{type(strategy).__name__} was not built by make_strategy; no zoo spec"
+        )
+    spec: Dict[str, Any] = {"name": name}
+    predtest = getattr(strategy, "predtest", None)
+    if predtest is not None:
+        spec["predtest"] = predtest
+    return spec
+
+
+def strategy_from_spec(spec: Mapping[str, Any]) -> Strategy:
+    """Inverse of :func:`strategy_spec`."""
+    extra = set(spec) - {"name", "predtest"}
+    if extra:
+        raise ProtocolError(f"unknown strategy-spec keys: {sorted(extra)}")
+    if "name" not in spec:
+        raise ProtocolError("strategy spec requires a 'name'")
+    return make_strategy(spec["name"], predtest=spec.get("predtest"))

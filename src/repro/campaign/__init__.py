@@ -45,6 +45,12 @@ from .runner import (
 )
 from .spec import CampaignSpec, Cell, ScenarioSpec, cell_id_for, derive_cell_seed
 from .store import ResultStore, RunStore
+from .tournament import (
+    build_tournament_spec,
+    rank_run,
+    render_ranking,
+    tournament_bench_payload,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -60,17 +66,21 @@ __all__ = [
     "aggregate_records",
     "available_scenarios",
     "bench_payload",
+    "build_tournament_spec",
     "cell_id_for",
     "compare_runs",
     "derive_cell_seed",
     "execute_cell",
     "format_table",
     "get_scenario",
+    "rank_run",
     "register",
+    "render_ranking",
     "render_report",
     "resume_campaign",
     "run_campaign",
     "scenario",
     "shutdown_worker_pool",
     "summarize_run",
+    "tournament_bench_payload",
 ]

@@ -71,6 +71,7 @@ def _ensure_builtins() -> None:
     if not _BUILTINS_LOADED:
         _BUILTINS_LOADED = True
         from . import scenarios  # noqa: F401  (registers the built-ins)
+        from . import tournament  # noqa: F401  (registers the tournament grid)
 
 
 def register(scn: Scenario, replace: bool = False) -> Scenario:

@@ -580,6 +580,81 @@ def cmd_campaign_compare(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _split_axis(values: Optional[List[str]]) -> Optional[List[str]]:
+    """Flatten repeatable/comma-separated axis arguments."""
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out or None
+
+
+def cmd_campaign_tournament_run(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, build_tournament_spec, run_campaign
+
+    spec = build_tournament_spec(
+        strategies=_split_axis(args.strategy),
+        predtests=_split_axis(args.predtest) or ["truthful", "deny"],
+        topologies=_split_axis(args.topology) or ["line-10", "grid-16"],
+        profiles=_split_axis(args.profile) or ["none"],
+        executions=args.executions,
+        name=args.name,
+        seed=args.seed,
+        replicates=args.replicates,
+        cell_timeout=args.timeout,
+    )
+    store = ResultStore(args.store)
+    result = run_campaign(spec, store, jobs=args.jobs, progress=print)
+    print(
+        f"run {result.run_id}: {result.completed} executed, {result.skipped} resumed, "
+        f"{result.failed} failed in {result.wall_time_s:.2f}s "
+        f"({result.cells_per_sec:.3g} cells/s at --jobs {args.jobs})"
+    )
+    if result.interrupted:
+        return 130
+    return 0 if result.failed == 0 else 1
+
+
+def cmd_campaign_tournament_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .campaign import (
+        ResultStore,
+        rank_run,
+        render_ranking,
+        summarize_run,
+        tournament_bench_payload,
+    )
+
+    store = ResultStore(args.store)
+    run = store.get_run(args.run_id)
+    summary = summarize_run(run)
+    rows = rank_run(run)
+    print(render_ranking(rows))
+    print(
+        f"\nrun {summary['run_id']}: {summary['cells_ok']} ok, "
+        f"{summary['cells_failed']} failed (invariants enforced per cell)"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(tournament_bench_payload(summary, rows), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"bench payload written to {args.output}")
+    return 0 if summary.get("cells_failed") == 0 else 1
+
+
+def cmd_campaign_tournament_compare(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, compare_runs
+
+    store = ResultStore(args.store)
+    report = compare_runs(
+        store.get_run(args.base_run), store.get_run(args.new_run), threshold=args.threshold
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def cmd_campaign_validate(args: argparse.Namespace) -> int:
     from .campaign import ResultStore
 
@@ -1121,6 +1196,48 @@ def _add_campaign_parser(sub) -> None:
     p = csub.add_parser("list", help="list runs and registered scenarios")
     common(p, jobs=False)
     p.set_defaults(func=cmd_campaign_list)
+
+    tournament = csub.add_parser(
+        "tournament",
+        help="adversary-zoo tournaments (invariant-gated cells, "
+             "damage-per-detection-latency ranking)",
+    )
+    tsub = tournament.add_subparsers(dest="tournament_command", required=True)
+
+    p = tsub.add_parser("run", help="run a strategy x predtest x topology x fault grid")
+    p.add_argument("--strategy", action="append",
+                   help="zoo strategy name(s), repeatable or comma-separated "
+                        "(default: the full zoo)")
+    p.add_argument("--predtest", action="append",
+                   help="predicate-test policies (default truthful,deny)")
+    p.add_argument("--topology", action="append",
+                   help="topologies (default line-10,grid-16)")
+    p.add_argument("--profile", action="append",
+                   help="fault profiles: none and/or quiet (default none)")
+    p.add_argument("--executions", type=int, default=3,
+                   help="protocol executions per cell (default 3)")
+    p.add_argument("--name", type=str, default="tournament")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicates", type=int, default=1)
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-cell time budget in seconds (0 = none)")
+    common(p)
+    p.set_defaults(func=cmd_campaign_tournament_run)
+
+    p = tsub.add_parser("report", help="damage-per-detection-latency ranking for a run")
+    p.add_argument("run_id", help="run id, or 'latest'")
+    p.add_argument("--output", type=str, default=None,
+                   help="also write a BENCH_tournament.json payload here")
+    common(p, jobs=False)
+    p.set_defaults(func=cmd_campaign_tournament_report)
+
+    p = tsub.add_parser("compare", help="zero-tolerance run-to-run comparison")
+    p.add_argument("base_run")
+    p.add_argument("new_run")
+    p.add_argument("--threshold", type=float, default=0.0,
+                   help="relative mean shift tolerated (default 0: bit-identical)")
+    common(p, jobs=False)
+    p.set_defaults(func=cmd_campaign_tournament_compare)
 
 
 def _add_invariants_parser(sub) -> None:

@@ -23,6 +23,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..adversary.zoo import ZOO
 from ..errors import ReproError
 from ..seeding import canonical_json, derive_rng, derive_seed
 from .catalog import Violation
@@ -34,13 +35,22 @@ REPRO_FORMAT_VERSION = 1
 #: restricted to always-connected families (line, grid) so every
 #: sampled config satisfies the deployment assumptions; disconnected
 #: geometric samples would fuzz the *builder's* validation, not the
-#: protocol.
-STRATEGIES = (
-    "passive", "drop-minimum", "hide-and-veto", "junk-minimum", "spurious-veto",
-)
+#: protocol.  Strategies come from the full adversary zoo, so every
+#: registered attack — classic, adaptive and colluding — is walked
+#: against the whole invariant catalog, not just the two oracles the
+#: tournament asserts.
+STRATEGIES = tuple(sorted(ZOO))
 PREDTESTS = ("truthful", "deny", "lie_yes", "coin")
 FAULT_PROFILES = ("none", "crash", "partition", "burst", "clock", "mixed")
 QUERIES = ("min", "max")
+
+#: Weighted fault draw: half the trials run fault-free.  The catalog's
+#: strongest oracles (revocation-progress, the absence-based deferral
+#: checks) are suspended while a fault injector is attached, so a
+#: uniform draw over :data:`FAULT_PROFILES` — five faulty profiles to
+#: one clean — would leave most trials unable to detect a weakened
+#: pinpointer at all.
+_FAULT_DRAW = ("none",) * 4 + FAULT_PROFILES[1:]
 
 
 @dataclass(frozen=True)
@@ -97,9 +107,13 @@ def sample_config(master_seed: int, trial: int) -> FuzzConfig:
     num_nodes = size if topology == "line" else size * size
     sensor_ids = list(range(1, num_nodes))
     strategy = rng.choice(STRATEGIES)
-    num_malicious = rng.randint(1, min(2, len(sensor_ids)))
+    # Colluding strategies need enough compromised nodes to fill their
+    # roles; the zoo contract records the floor per strategy.
+    floor = ZOO[strategy].contract.min_malicious
+    ceiling = max(floor, min(2, len(sensor_ids)))
+    num_malicious = rng.randint(floor, ceiling)
     malicious = tuple(sorted(rng.sample(sensor_ids, num_malicious)))
-    fault_profile = rng.choice(FAULT_PROFILES)
+    fault_profile = rng.choice(_FAULT_DRAW)
     return FuzzConfig(
         seed=derive_seed("fuzz-run", master_seed, trial),
         topology=topology,

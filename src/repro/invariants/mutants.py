@@ -4,9 +4,10 @@ A test oracle is only as good as its ability to notice a broken
 protocol.  Each :class:`Mutant` here deliberately disables one defense
 the paper's proofs rely on — skip the minimum's sensor-MAC check, trust
 veto MACs blindly, ignore the benign-mode deferral rule, let pinpointing
-terminate silently, count ring-dump revocations toward the θ rule — and
-pairs it with a *provocation*: a deterministic adversarial scenario in
-which the missing defense matters.
+terminate silently, count ring-dump revocations toward the θ rule,
+un-defer a single absence branch in benign mode — and pairs it with a
+*provocation*: a deterministic adversarial scenario in which the
+missing defense matters.
 
 :func:`run_mutant` applies the weakening (a reversible monkey-patch),
 runs the provocation under an :class:`InvariantMonitor`, and returns the
@@ -164,8 +165,35 @@ def _mutate_threshold_counts_ring_dumps() -> Iterator[None]:
         yield
 
 
+@contextlib.contextmanager
+def _mutate_revoke_on_absence_despite_benign_mode() -> Iterator[None]:
+    """Un-defer ONE absence branch: the forwarded-junk-veto receipt check.
+
+    Unlike ``ignore-benign-deferral`` (which turns benign mode off
+    wholesale), this mutant leaves benign mode on and selectively
+    revokes on the "no receipt for forwarded junk veto" branch — the
+    deep Figure-6 walk only an adaptive burst adversary reaches, so the
+    classic provocations cannot expose it.
+    """
+    from ..core.pinpoint import Pinpointer
+
+    original = Pinpointer._revoke_sensor_or_defer
+
+    def _eager(self, outcome, sensor_id, reason):
+        if reason == "no receipt for forwarded junk veto":
+            self._revoke_sensor(outcome, sensor_id, reason)
+        else:
+            original(self, outcome, sensor_id, reason)
+
+    with _patched(Pinpointer, "_revoke_sensor_or_defer", _eager):
+        yield
+
+
 _PATCHES = {
     "accept-any-minimum": _mutate_accept_any_minimum,
+    "revoke-on-absence-despite-benign-mode": (
+        _mutate_revoke_on_absence_despite_benign_mode
+    ),
     "skip-veto-mac": _mutate_skip_veto_mac,
     "ignore-benign-deferral": _mutate_ignore_benign_deferral,
     "silent-pinpoint": _mutate_silent_pinpoint,
@@ -209,6 +237,21 @@ MUTANTS: Dict[str, Mutant] = {
             strategy="spurious-veto",
             predtest="deny",
             benign_faults=True,
+        ),
+        Mutant(
+            name="revoke-on-absence-despite-benign-mode",
+            description=(
+                "The forwarded-junk-veto receipt check revokes on absence "
+                "even in benign mode; a burst adversary's forged veto under "
+                "a quiet fault injector turns a mandated deferral into an "
+                "absence-based revocation."
+            ),
+            weakens="repro.faults degradation contract (single-branch deferral)",
+            expected=("positive-proof-revocation",),
+            strategy="burst",
+            predtest="truthful",
+            benign_faults=True,
+            executions=2,
         ),
         Mutant(
             name="silent-pinpoint",

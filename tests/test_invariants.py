@@ -488,7 +488,7 @@ class TestCommittedStores:
 class TestMutationSmoke:
     def test_every_mutant_caught(self) -> None:
         reports = mutation_smoke(seed=7)
-        assert len(reports) == 5
+        assert len(reports) == 6
         for report in reports:
             assert report.baseline_clean, (
                 f"{report.name}: baseline provocation was dirty"
