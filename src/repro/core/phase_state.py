@@ -21,10 +21,19 @@ reference containers' *orders* exactly: stable argsort grouping keeps
 ascending participant order within a level group (the reference sorts
 its slot lists), and the append-only schedules replay dict insertion
 order (the reference visits arrivals ascending, so its dicts are
-inserted — and iterated — ascending too).  The column paths are only
-taken on fully honest inline runs (:func:`columns_enabled`); any
-adversary, service driver, tracer, or the global cache-disable switch
-routes the phase through the untouched reference loops.
+inserted — and iterated — ascending too).
+
+**Hybrid kernel.**  The column paths cover inline runs — honest *and*
+adversarial (:func:`columns_enabled`).  Adversary hooks never touch the
+columns: malicious state lives in per-node
+:class:`~repro.adversary.base.MaliciousNodeState` rows and every
+injection goes through the transport, which both paths share, so the
+honest majority stays columnar while adversary-adjacent traffic
+materializes row views on read.  Tracer attachment likewise stays on
+the columns: the transmit fast path emits the identical trace event
+from scalars (see ``PhaseContext._transmit_one``).  Only a service
+driver (node state lives on host processes) or the global cache-disable
+switch routes the phase through the untouched reference loops.
 """
 
 from __future__ import annotations
@@ -46,17 +55,25 @@ _EMPTY: Tuple[int, ...] = ()
 def columns_enabled(network, adversary) -> bool:
     """Whether a phase may run its interval loop over column state.
 
-    Column loops cover exactly the honest inline configuration: no
-    adversary hooks (which mutate node objects mid-interval), no service
-    driver (node state lives on host processes), no tracer, and the perf
-    layer enabled — the cache-disable switch is the documented escape
-    hatch back to the reference path.
+    Column loops cover every inline configuration — honest *or*
+    attacked, traced or not.  Adversary hooks mutate only their own
+    :class:`~repro.adversary.base.MaliciousNodeState` rows and inject
+    through the shared transport, and the column branches replay the
+    reference arrival/visit order exactly, so attacked runs stay
+    bit-identical on the columns (``tests/test_soa.py`` pins this per
+    zoo strategy).  A tracer no longer disengages either: the transmit
+    fast path emits the identical trace event from scalars.  Only a
+    service driver (node state lives on host processes, not in this
+    process's arrays) or the cache-disable switch — the documented
+    escape hatch — routes the phase through the reference loops.
+
+    ``adversary`` is accepted (and ignored) so call sites read as
+    "may *this* run use columns" and future gating has its hook.
     """
+    del adversary  # adversarial runs coexist with the columns
     return (
         np is not None
-        and adversary is None
         and network.honest_driver is None
-        and network.tracer is None
         and caching_enabled()
     )
 

@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..crypto.encoding import encode_parts
-from ..crypto.mac import compute_mac_message, verify_mac
+from ..crypto.mac import (
+    DEFAULT_MAC_LENGTH,
+    compute_mac_message,
+    keyed_sha256_pair,
+    verify_mac,
+)
 from ..crypto.nonce import NonceSource
 from ..errors import ProtocolError
 from ..keys.registry import BASE_STATION_ID
@@ -47,7 +52,12 @@ def sign_instance_values(
     Module-level so service node hosts (repro.service.node) install the
     byte-identical state on their replicas that the coordinator computes.
     """
-    key = registry.sensor_key(sensor_id)
+    # ``store=False``: this runs once per sensor per execution, so at
+    # scale it would insert one derived key and one keyed HMAC state per
+    # sensor into the shared caches — a ~2%-hit-rate working set that
+    # evicts the reusable pool-key entries and sits in RSS.  Keys that
+    # *are* already cached (the base station's verify side) still hit.
+    key = registry.sensor_key(sensor_id, store=False)
     # The MAC'd tuple is (sensor_id, instance, value, nonce); only the
     # middle two fields vary across the m instances, so encode the
     # static prefix/suffix once.  Canonical encodings concatenate, so
@@ -55,12 +65,31 @@ def sign_instance_values(
     # encode_parts(sensor_id, instance, value, nonce).
     prefix = encode_parts(sensor_id)
     suffix = encode_parts(nonce)
+    if len(values) > 1:
+        # Several instances under one key: key the HMAC state once
+        # locally instead of re-deriving it per instance.
+        pair = keyed_sha256_pair(key, store=False)
+        messages = []
+        for instance, value in enumerate(values):
+            h = pair[0].copy()
+            h.update(prefix + encode_parts(instance, value) + suffix)
+            o = pair[1].copy()
+            o.update(h.digest())
+            messages.append(
+                ReadingMessage(
+                    sensor_id=sensor_id,
+                    value=value,
+                    mac=o.digest()[:DEFAULT_MAC_LENGTH],
+                    instance=instance,
+                )
+            )
+        return messages
     return [
         ReadingMessage(
             sensor_id=sensor_id,
             value=value,
             mac=compute_mac_message(
-                key, prefix + encode_parts(instance, value) + suffix
+                key, prefix + encode_parts(instance, value) + suffix, store=False
             ),
             instance=instance,
         )

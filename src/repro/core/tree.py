@@ -95,11 +95,12 @@ def form_tree(
     driver = network.honest_driver
     if driver is not None:
         driver.phase_begin("tree", phase, depth_bound=depth_bound, variant=variant)
-    # Column state for the honest inline timestamp path: level as one
-    # int32 array, parents in a cursor-addressed arena, the forward
-    # schedule as a plain list (repro.core.phase_state).  Any adversary,
-    # driver, tracer, hop-count variant, or the cache-disable switch
-    # keeps the per-node reference containers below.
+    # Column state for the inline timestamp path: level as one int32
+    # array, parents in a cursor-addressed arena, the forward schedule
+    # as a plain list (repro.core.phase_state).  Adversaries and tracers
+    # ride the columns (hybrid kernel); only a driver, the hop-count
+    # variant, or the cache-disable switch keeps the per-node reference
+    # containers below.
     cols: Optional[TreeColumns] = None
     if variant == "timestamp" and columns_enabled(network, adversary):
         cols = TreeColumns(node_id_bound(network), depth_bound, multipath)

@@ -44,11 +44,14 @@ _KEYED_STATES = LRUCache("hmac-keyed-states", maxsize=8192)
 _PAIR_VIEW = _KEYED_STATES.view()
 
 
-def keyed_sha256_pair(key: bytes) -> "Tuple[Any, Any]":
+def keyed_sha256_pair(key: bytes, store: bool = True) -> "Tuple[Any, Any]":
     """The HMAC-SHA256 (inner, outer) states for ``key``, cached.
 
     Callers must ``.copy()`` before updating; :func:`hmac_sha256_digest`
-    is the intended consumer.
+    is the intended consumer.  ``store=False`` skips the cache insertion
+    on a miss (reads are unchanged) — bulk once-per-key sweeps, like
+    signing every sensor's instance messages under its own sensor key,
+    would otherwise park one dead keyed state per sensor in the cache.
     """
     pair = _KEYED_STATES.get(key)
     if pair is None:
@@ -58,7 +61,8 @@ def keyed_sha256_pair(key: bytes) -> "Tuple[Any, Any]":
             hashlib.sha256(block_key.translate(_TRANS_IPAD)),
             hashlib.sha256(block_key.translate(_TRANS_OPAD)),
         )
-        _KEYED_STATES.put(key, pair)
+        if store:
+            _KEYED_STATES.put(key, pair)
     return pair
 
 
@@ -100,7 +104,7 @@ def compute_mac(key: bytes, *parts: Any, length: int = DEFAULT_MAC_LENGTH) -> by
 
 
 def compute_mac_message(
-    key: bytes, message: bytes, length: int = DEFAULT_MAC_LENGTH
+    key: bytes, message: bytes, length: int = DEFAULT_MAC_LENGTH, store: bool = True
 ) -> bytes:
     """:func:`compute_mac` over pre-encoded message bytes.
 
@@ -109,6 +113,8 @@ def compute_mac_message(
     broadcast, or a sensor signing ``m`` synopsis instances).  The
     caller is responsible for ``message`` being the ``encode_parts``
     encoding of the logical tuple — injectivity lives there.
+    ``store=False`` is forwarded to :func:`keyed_sha256_pair` for bulk
+    once-per-key callers.
     """
     if not key:
         raise MacVerificationError("empty MAC key")
@@ -116,7 +122,7 @@ def compute_mac_message(
         raise MacVerificationError(f"MAC length {length} out of range [4, 32]")
     pair = _PAIR_VIEW.get(key)
     if pair is None:
-        pair = keyed_sha256_pair(key)
+        pair = keyed_sha256_pair(key, store=store)
     else:
         _KEYED_STATES.hits += 1
     h = pair[0].copy()

@@ -56,8 +56,15 @@ class KeyPool:
             _DERIVED_KEYS.put(cache_key, key)
         return key
 
-    def sensor_key(self, sensor_id: int) -> bytes:
-        """The unique key a sensor shares with the base station."""
+    def sensor_key(self, sensor_id: int, store: bool = True) -> bytes:
+        """The unique key a sensor shares with the base station.
+
+        ``store=False`` skips the cache *insertion* on a miss (reads are
+        unchanged): bulk per-sensor sweeps — signing every sensor's
+        instance messages each execution — would otherwise fill the
+        shared cache with one-shot entries (~2% hit rate at 100k nodes)
+        that evict the reusable pool keys and sit in RSS for the run.
+        """
         if sensor_id < 0:
             raise KeyManagementError(f"invalid sensor id {sensor_id}")
         cache_key = (self._master, "sensor-key", sensor_id, self.config.key_length)
@@ -70,7 +77,8 @@ class KeyPool:
             key = derive_key(
                 self._master, "sensor-key", sensor_id, length=self.config.key_length
             )
-            _DERIVED_KEYS.put(cache_key, key)
+            if store:
+                _DERIVED_KEYS.put(cache_key, key)
         return key
 
     def broadcast_chain_seed(self) -> bytes:

@@ -113,8 +113,8 @@ class KeyRegistry:
             raise KeyManagementError(f"no ring for node {sensor_id}")
         return self.rings[sensor_id]
 
-    def sensor_key(self, sensor_id: int) -> bytes:
-        return self.pool.sensor_key(sensor_id)
+    def sensor_key(self, sensor_id: int, store: bool = True) -> bytes:
+        return self.pool.sensor_key(sensor_id, store=store)
 
     def pool_key(self, index: int) -> bytes:
         return self.pool.pool_key(index)

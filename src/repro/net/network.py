@@ -26,7 +26,8 @@ substrate for VMAT's interval-slotted phases:
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from array import array
+from collections import Counter, defaultdict, deque
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..config import ExperimentConfig
@@ -38,9 +39,10 @@ from ..metrics import Metrics
 from ..perf.cache import LRUCache, caching_enabled
 from ..seeding import derive_rng
 from ..sim.clock import ClockAssignment
-from ..topology.graph import Topology, component_over, depths_over
+from ..topology.graph import Topology
+from ..core.node_columns import make_node_columns
 from .message import MAC_BYTES, Payload, message_digest
-from .node import HonestNode
+from .node import ColumnNode, HonestNode
 from .transport import SimTransport, _EMPTY_ARRIVALS
 
 try:
@@ -198,10 +200,12 @@ class Delivery:
     ``verified`` are computed on first access on the optimized path
     (honest nodes often never read flooded duplicates, and one
     broadcast's MAC validity is verified once via the module's
-    verified-MAC memo).  The reference path — caches disabled, or a
-    tracer attached (the live invariant monitor checks every frame as
-    it is recorded) — computes both eagerly at transmit time, exactly
-    as the pre-optimization code did.
+    verified-MAC memo).  The reference path — caches disabled — computes
+    both eagerly at transmit time, exactly as the pre-optimization code
+    did.  A tracer no longer forces the eager path: the trace event's
+    ``verified`` field is the transmit-time precheck either way (see
+    ``PhaseContext._transmit_one``), and the live invariant monitor
+    consumes only the event's scalar fields.
     """
 
     __slots__ = ("_batch", "receiver", "key_index", "interval", "_mac", "_verified")
@@ -333,20 +337,17 @@ class PhaseContext:
         self.sequence = sequence
         self.current_interval = 0
         # Frame store: the struct-of-arrays column store on the
-        # optimized path (caching enabled, no tracer watching frames as
-        # they are recorded), the classic per-receiver list store on the
-        # reference path, or whatever the network's factory supplies
-        # (the service runtime does, to ship frames between OS processes
-        # while keeping this exact store contract).
+        # optimized path (caching enabled — adversaries and tracers
+        # coexist with the columns; see _transmit_one), the classic
+        # per-receiver list store on the reference path, or whatever the
+        # network's factory supplies (the service runtime does, to ship
+        # frames between OS processes while keeping this exact store
+        # contract).
         factory = network.transport_factory
         if factory is not None:
             self.transport = factory(self)
-        elif (
-            SoATransport is not None
-            and caching_enabled()
-            and network.tracer is None
-        ):
-            self.transport = SoATransport()
+        elif SoATransport is not None and caching_enabled():
+            self.transport = SoATransport(network.topology.num_nodes)
         else:
             self.transport = SimTransport()
         self._soa = (
@@ -524,7 +525,7 @@ class PhaseContext:
                     return
                 interval = interval + shift
                 network.metrics.record_fault("late-frame")
-        if caching_enabled() and network.tracer is None:
+        if caching_enabled():
             # Optimized path: the receiver-side checks that read mutable
             # state (key revocation, key possession — set lookups) run
             # now, so laziness cannot observe a later revocation; the
@@ -532,6 +533,13 @@ class PhaseContext:
             # ``edge_mac``/``verified`` and shared through the
             # verified-MAC memo.  Frames failing the cheap checks are
             # sealed unverified immediately.
+            #
+            # A tracer stays on this path: the reference event's
+            # ``verified`` field equals ``_accepts_message`` = precheck
+            # AND verify-of-the-simulator's-own-MAC, and HMAC is a pure
+            # function, so the verify half is deterministically True —
+            # ``accepted`` below IS the reference trace value, emitted
+            # without materializing a MAC.
             #
             # For the *default* edge key the full precheck collapses: the
             # key just came out of ``edge_key_index`` (never a revoked
@@ -548,6 +556,18 @@ class PhaseContext:
                 # four scalar appends per frame; reads materialize.
                 soa.deposit_columns(interval, receiver, batch, key_index, accepted)
                 network.metrics.record_transmission(physical_sender, receiver, wire)
+                if network.tracer is not None:
+                    network.tracer.record(
+                        "transmission",
+                        phase=self.name,
+                        interval=interval,
+                        sender=physical_sender,
+                        claimed=claimed_sender,
+                        receiver=receiver,
+                        payload=type(batch.payload).__name__,
+                        key_index=key_index,
+                        verified=accepted,
+                    )
                 if injector is not None:
                     dup = injector.duplicate_probability(receiver)
                     if dup > 0.0 and injector.rng.random() < dup:
@@ -563,12 +583,10 @@ class PhaseContext:
             else:
                 delivery = Delivery(batch, receiver, key_index, interval, verified=False)
         else:
-            # Reference path (caches disabled), or a tracer is attached:
-            # the trace event carries ``verified`` and the live invariant
-            # monitor (repro.invariants) checks each frame as recorded,
-            # so every frame is MAC'd and verified eagerly.  Encode the
-            # MAC'd tuple once; the sender's MAC and the receiver's
-            # verification share the exact same bytes.
+            # Reference path (caches disabled): every frame is MAC'd and
+            # verified eagerly, exactly as the pre-optimization code did.
+            # Encode the MAC'd tuple once; the sender's MAC and the
+            # receiver's verification share the exact same bytes.
             message = _edge_mac_message(
                 claimed_sender, receiver, self._name_encoded, interval,
                 batch.payload_bytes,
@@ -667,15 +685,36 @@ class Network:
         self.clocks = ClockAssignment(topology.node_ids, config.clock, seed)
         self.authority = BroadcastAuthority(registry.pool.broadcast_chain_seed())
         self.nodes: Dict[int, HonestNode] = {}
+        # Column kernel: with caching enabled (and numpy present) the
+        # five per-node scalars live in parallel arrays and honest nodes
+        # are thin column views; the reference path (or a numpy-less
+        # install) keeps plain attribute-backed nodes.  Both classes are
+        # behaviourally identical, so which one a network was built with
+        # never shows in protocol output.
+        self.node_columns = make_node_columns(topology.num_nodes) if (
+            caching_enabled()
+        ) else None
+        anchor = self.authority.anchor
         for node_id in topology.sensor_ids:
             if node_id in self.malicious_ids:
                 continue
-            self.nodes[node_id] = HonestNode(
-                node_id=node_id,
-                material=registry.sensor_deployment_material(node_id),
-                clock=self.clocks[node_id],
-                broadcast_anchor=self.authority.anchor,
-            )
+            material = registry.sensor_deployment_material(node_id)
+            clock = self.clocks[node_id]
+            if self.node_columns is not None:
+                self.nodes[node_id] = ColumnNode(
+                    node_id=node_id,
+                    material=material,
+                    clock=clock,
+                    broadcast_anchor=anchor,
+                    columns=self.node_columns,
+                )
+            else:
+                self.nodes[node_id] = HonestNode(
+                    node_id=node_id,
+                    material=material,
+                    clock=clock,
+                    broadcast_anchor=anchor,
+                )
 
         self._adversary_pool_indices: Optional[FrozenSet[int]] = None
         # Incrementally-maintained secure-link state (built lazily on the
@@ -1017,41 +1056,40 @@ class _SecureTopologyView:
     the view only changes *when* per-edge work happens, never its
     outcome — and the whole class is bypassed (``Network._secure_view``
     returns ``None``) while caching is disabled.
+
+    **Storage is CSR, not dicts.**  Node ids are contiguous, so the
+    radio adjacency and the per-edge current keys live in three flat
+    arrays — ``_indptr``/``_cols`` (neighbour rows, frozen in the
+    reference ``Topology.neighbors`` iteration order) and ``_keys``
+    (parallel current-key row, ``-1`` = no usable key).  That replaces
+    the per-node neighbour tuples, the edge-key dict and the
+    million-set secure adjacency of the dict-based view: at 1M nodes
+    the whole secure topology is ~56 MB of arrays instead of several
+    hundred MB of containers, and reachability/depth queries walk the
+    rows directly.
     """
 
     __slots__ = (
         "network",
         "_epoch",
-        "_base_neighbors",
-        "_edge_key",
+        "_indptr",
+        "_cols",
+        "_keys",
         "_keyed_edges",
-        "_adjacency",
         "_component",
         "_depth_bound",
         "_neighbors_memo",
+        "_degrees",
     )
 
     def __init__(self, network: Network) -> None:
         self.network = network
         topology = network.topology
         registry = network.registry
-        # Per-node neighbour tuples frozen in the reference iteration
-        # order (Topology.neighbors builds a frozenset from a static
-        # set, so its order is deterministic per process): filtering
-        # this order reproduces the reference secure_neighbors lists —
-        # and hence per-receiver RNG draw order — exactly.
-        self._base_neighbors: Dict[int, Tuple[int, ...]] = {
-            node: tuple(topology.neighbors(node)) for node in topology.node_ids
-        }
-        self._edge_key: Dict[Tuple[int, int], Optional[int]] = {}
-        # Inverted key -> edges map, needed only to replay key-revocation
-        # events; built lazily on the first sync (fully honest runs never
-        # pay for it).
-        self._keyed_edges: Optional[Dict[int, Set[Tuple[int, int]]]] = None
-        self._adjacency: Dict[int, Set[int]] = {
-            node: set() for node in topology.node_ids
-        }
         edges = list(topology.edges())
+        # Transient (a < b) edge -> current-key map feeding the CSR fill
+        # below; freed when __init__ returns.
+        edge_key: Dict[Tuple[int, int], Optional[int]] = {}
         table = getattr(registry, "ring_table", None)
         if table is not None and registry.revocation_epoch == 0 and edges:
             # Nothing revoked yet: every edge key is the epoch-zero
@@ -1059,13 +1097,7 @@ class _SecureTopologyView:
             # fork workers instead of one ring intersection per edge.
             bulk = table.edge_keys([e[0] for e in edges], [e[1] for e in edges])
             for edge, index in zip(edges, bulk.tolist()):
-                if index < 0:
-                    self._edge_key[edge] = None
-                else:
-                    self._edge_key[edge] = index
-                    a, b = edge
-                    self._adjacency[a].add(b)
-                    self._adjacency[b].add(a)
+                edge_key[edge] = None if index < 0 else index
         else:
             revocation = registry.revocation
             for edge in edges:
@@ -1075,17 +1107,42 @@ class _SecureTopologyView:
                     if not revocation.is_key_revoked(candidate):
                         index = candidate
                         break
-                self._edge_key[edge] = index
-                if index is not None:
-                    self._adjacency[a].add(b)
-                    self._adjacency[b].add(a)
+                edge_key[edge] = index
+        # CSR radio adjacency: node ids are contiguous (range(num_nodes)),
+        # so ``cols[indptr[n]:indptr[n + 1]]`` is node n's neighbour row
+        # and ``keys`` the parallel current-edge-key row (-1 = no usable
+        # key).  Rows are frozen in the reference iteration order
+        # (``Topology.neighbors`` returns a frozenset built from a static
+        # set, deterministic per process): filtering a row in order
+        # reproduces the reference secure_neighbors lists — and hence
+        # per-receiver RNG draw order — exactly.
+        indptr = array("q", [0])
+        cols = array("i")
+        keys = array("i")
+        for node in topology.node_ids:
+            for other in topology.neighbors(node):
+                cols.append(other)
+                pair = (node, other) if node < other else (other, node)
+                index = edge_key[pair]
+                keys.append(-1 if index is None else index)
+            indptr.append(len(cols))
+        self._indptr = indptr
+        self._cols = cols
+        self._keys = keys
+        # Inverted key -> edges map, needed only to replay key-revocation
+        # events; built lazily on the first sync (fully honest runs never
+        # pay for it).
+        self._keyed_edges: Optional[Dict[int, Set[Tuple[int, int]]]] = None
         self._epoch = registry.revocation_epoch
         self._component: Optional[Set[int]] = None
         self._depth_bound: Optional[int] = None
         # Per-epoch secure-neighbour tuples: within one revocation epoch
-        # the filter inputs are constant, so floods (which ask for every
-        # node's secure degree) reuse one filtering pass per node.
+        # the filter inputs are constant, so repeat senders reuse one
+        # filtering pass per node.
         self._neighbors_memo: Dict[int, Tuple[int, ...]] = {}
+        # Per-epoch secure-degree column (-1 = unknown): floods ask for
+        # every node's degree, and a count does not need the memo tuple.
+        self._degrees: Optional[array] = None
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -1094,11 +1151,20 @@ class _SecureTopologyView:
         keyed = self._keyed_edges
         if keyed is None:
             keyed = defaultdict(set)
-            for edge, index in self._edge_key.items():
-                if index is not None:
-                    keyed[index].add(edge)
+            indptr, cols, keys = self._indptr, self._cols, self._keys
+            for a in range(len(indptr) - 1):
+                for pos in range(indptr[a], indptr[a + 1]):
+                    b = cols[pos]
+                    if b > a and keys[pos] >= 0:
+                        keyed[keys[pos]].add((a, b))
             self._keyed_edges = keyed
         return keyed
+
+    def _set_edge_key(self, a: int, b: int, index: int) -> None:
+        """Write one radio edge's current key into both directed rows."""
+        indptr, cols, keys = self._indptr, self._cols, self._keys
+        keys[cols.index(b, indptr[a], indptr[a + 1])] = index
+        keys[cols.index(a, indptr[b], indptr[b + 1])] = index
 
     def sync(self) -> None:
         """Apply revocation-log entries recorded since the last query."""
@@ -1118,28 +1184,30 @@ class _SecureTopologyView:
                     if not revocation.is_key_revoked(candidate):
                         index = candidate
                         break
-                self._edge_key[edge] = index
+                self._set_edge_key(a, b, -1 if index is None else index)
                 if index is not None:
                     keyed_edges[index].add(edge)
-                else:
-                    self._adjacency[a].discard(b)
-                    self._adjacency[b].discard(a)
         self._epoch = len(log)
         self._component = None
         self._depth_bound = None
         self._neighbors_memo.clear()
+        self._degrees = None
 
     # ------------------------------------------------------------------
     # Queries (each the exact reference result)
     # ------------------------------------------------------------------
     def edge_key_index(self, a: int, b: int) -> Optional[int]:
-        edge = (a, b) if a < b else (b, a)
+        indptr = self._indptr
+        if not 0 <= a < len(indptr) - 1:
+            return self.network.registry.edge_key_index(a, b)
         try:
-            return self._edge_key[edge]
-        except KeyError:
+            pos = self._cols.index(b, indptr[a], indptr[a + 1])
+        except ValueError:
             # Non-radio pair (wormhole sends): fall through to the
             # registry's direct computation.
             return self.network.registry.edge_key_index(a, b)
+        index = self._keys[pos]
+        return None if index < 0 else index
 
     def link_usable(self, a: int, b: int) -> bool:
         revocation = self.network.registry.revocation
@@ -1156,23 +1224,48 @@ class _SecureTopologyView:
         if node_id != BASE_STATION_ID and revocation.is_sensor_revoked(node_id):
             result: List[int] = []
         else:
-            edge_key = self._edge_key
+            cols, keys = self._cols, self._keys
+            is_revoked = revocation.is_sensor_revoked
             result = []
-            for other in self._base_neighbors[node_id]:
-                if other != BASE_STATION_ID and revocation.is_sensor_revoked(other):
+            for pos in range(self._indptr[node_id], self._indptr[node_id + 1]):
+                if keys[pos] < 0:
                     continue
-                if edge_key[(node_id, other) if node_id < other else (other, node_id)] is not None:
-                    result.append(other)
+                other = cols[pos]
+                if other != BASE_STATION_ID and is_revoked(other):
+                    continue
+                result.append(other)
         self._neighbors_memo[node_id] = tuple(result)
         return result
 
     def secure_degree(self, node_id: int) -> int:
-        """``len(secure_neighbors(node_id))`` without the list copy."""
+        """``len(secure_neighbors(node_id))`` without the list or tuple."""
         memo = self._neighbors_memo.get(node_id)
-        if memo is None:
-            self.secure_neighbors(node_id)
-            memo = self._neighbors_memo[node_id]
-        return len(memo)
+        if memo is not None:
+            return len(memo)
+        degrees = self._degrees
+        if degrees is None:
+            degrees = self._degrees = array("i", [-1]) * (len(self._indptr) - 1)
+        cached = degrees[node_id]
+        if cached >= 0:
+            return cached
+        revocation = self.network.registry.revocation
+        if node_id != BASE_STATION_ID and revocation.is_sensor_revoked(node_id):
+            count = 0
+        else:
+            cols, keys = self._cols, self._keys
+            start, stop = self._indptr[node_id], self._indptr[node_id + 1]
+            if revocation.revoked_sensors:
+                is_revoked = revocation.is_sensor_revoked
+                count = sum(
+                    1
+                    for pos in range(start, stop)
+                    if keys[pos] >= 0
+                    and (cols[pos] == BASE_STATION_ID or not is_revoked(cols[pos]))
+                )
+            else:
+                count = sum(1 for pos in range(start, stop) if keys[pos] >= 0)
+        degrees[node_id] = count
+        return count
 
     def _allowed_honest(self) -> Set[int]:
         network = self.network
@@ -1183,9 +1276,24 @@ class _SecureTopologyView:
 
     def honest_secure_component(self) -> Set[int]:
         if self._component is None:
-            self._component = component_over(
-                self._adjacency, allowed=self._allowed_honest()
-            )
+            # Reachability over the CSR rows restricted to keyed edges
+            # and allowed endpoints — the same set ``component_over``
+            # returns for the maintained adjacency (a reachability set
+            # is traversal-order independent).
+            allowed = self._allowed_honest()
+            indptr, cols, keys = self._indptr, self._cols, self._keys
+            component: Set[int] = {BASE_STATION_ID}
+            frontier = [BASE_STATION_ID]
+            while frontier:
+                current = frontier.pop()
+                for pos in range(indptr[current], indptr[current + 1]):
+                    if keys[pos] < 0:
+                        continue
+                    neighbor = cols[pos]
+                    if neighbor in allowed and neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            self._component = component
         # Callers may mutate the returned set (the reference path hands
         # out a fresh set per call), so copy.
         return set(self._component)
@@ -1197,13 +1305,17 @@ class _SecureTopologyView:
             if i == BASE_STATION_ID or not injector.node_down(i)
         }
         # Injector state changes per interval, so this is never cached —
-        # but it still runs on the maintained adjacency, skipping the
+        # but it still runs on the maintained key rows, skipping the
         # per-edge ring intersections of the reference path.
+        indptr, cols, keys = self._indptr, self._cols, self._keys
         component: Set[int] = {BASE_STATION_ID}
         frontier = [BASE_STATION_ID]
         while frontier:
             current = frontier.pop()
-            for neighbor in self._adjacency[current]:
+            for pos in range(indptr[current], indptr[current + 1]):
+                if keys[pos] < 0:
+                    continue
+                neighbor = cols[pos]
                 if (
                     neighbor in allowed
                     and neighbor not in component
@@ -1216,7 +1328,22 @@ class _SecureTopologyView:
     def effective_depth_bound(self) -> int:
         if self._depth_bound is None:
             component = self.honest_secure_component()
-            depths = depths_over(self._adjacency, allowed=component)
+            # Breadth-first depths over the keyed CSR rows — identical
+            # to ``depths_over`` on the maintained adjacency (BFS depth
+            # is the shortest-path length, independent of visit order).
+            indptr, cols, keys = self._indptr, self._cols, self._keys
+            depths: Dict[int, int] = {BASE_STATION_ID: 0}
+            frontier = deque((BASE_STATION_ID,))
+            while frontier:
+                current = frontier.popleft()
+                next_depth = depths[current] + 1
+                for pos in range(indptr[current], indptr[current + 1]):
+                    if keys[pos] < 0:
+                        continue
+                    neighbor = cols[pos]
+                    if neighbor in component and neighbor not in depths:
+                        depths[neighbor] = next_depth
+                        frontier.append(neighbor)
             sensor_depths = [
                 d for node, d in depths.items() if node != BASE_STATION_ID
             ]

@@ -178,8 +178,26 @@ class AuditStore:
         )
 
 
-class HonestNode:
-    """Runtime state of one honest sensor."""
+class _NodeCore:
+    """State and behaviour shared by both honest-node representations.
+
+    The scalar phase state (reading, level, the one-time flags, the
+    crash flag) deliberately has **no** storage here: the object-path
+    subclass keeps it in slots, the column-kernel subclass in
+    :class:`~repro.core.node_columns.NodeColumns` cells behind
+    properties.  ``__init__`` and ``begin_execution`` assign through
+    whichever the concrete class provides.
+    """
+
+    __slots__ = (
+        "node_id",
+        "material",
+        "clock",
+        "verifier",
+        "query_values",
+        "audit",
+        "parents",
+    )
 
     def __init__(
         self,
@@ -203,15 +221,15 @@ class HonestNode:
         self.level: Optional[int] = None
         self.parents: List[int] = []
         # SOF one-time flag
-        self.forwarded_veto: bool = False
+        self.forwarded_veto = False
         # Tree-formation one-time flag
-        self.forwarded_beacon: bool = False
+        self.forwarded_beacon = False
         # Benign-failure self-awareness (repro.faults): set when this
         # sensor crashed mid-execution or detectably missed an
         # authenticated broadcast.  A sensor that knows its view of the
         # execution is incomplete abstains from vetoing rather than
         # triggering pinpointing on a gap that is its own radio's fault.
-        self.crash_suspected: bool = False
+        self.crash_suspected = False
 
     @property
     def sensor_key(self) -> bytes:
@@ -243,4 +261,89 @@ class HonestNode:
         return self.level is not None and 1 <= self.level <= depth_bound
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"HonestNode(id={self.node_id}, level={self.level}, reading={self.reading})"
+        return (
+            f"{type(self).__name__}(id={self.node_id}, "
+            f"level={self.level}, reading={self.reading})"
+        )
+
+
+class HonestNode(_NodeCore):
+    """Runtime state of one honest sensor (object-path representation)."""
+
+    __slots__ = (
+        "reading",
+        "level",
+        "forwarded_veto",
+        "forwarded_beacon",
+        "crash_suspected",
+    )
+
+
+class ColumnNode(_NodeCore):
+    """Honest-node view over shared :class:`NodeColumns` cells.
+
+    Behaviourally identical to :class:`HonestNode` — every reader gets
+    the exact reference types back (``float``/``int``/``bool``, with
+    ``-1`` decoding to the reference's ``None`` level) — but the five
+    per-node scalars live in the network's parallel arrays, so a
+    million node views cost five array cells each instead of five boxed
+    attributes.  Built by :class:`~repro.net.network.Network` when the
+    column kernel is active at construction time.
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(
+        self,
+        node_id: int,
+        material: SensorKeyMaterial,
+        clock: LocalClock,
+        broadcast_anchor: bytes,
+        columns,
+        reading: float = 0.0,
+    ) -> None:
+        # Set before super().__init__ — the base constructor assigns the
+        # scalars, which route through the properties below.
+        self._columns = columns
+        super().__init__(node_id, material, clock, broadcast_anchor, reading)
+
+    @property
+    def reading(self) -> float:
+        return float(self._columns.reading[self.node_id])
+
+    @reading.setter
+    def reading(self, value: float) -> None:
+        self._columns.reading[self.node_id] = value
+
+    @property
+    def level(self) -> Optional[int]:
+        level = self._columns.level[self.node_id]
+        return None if level == -1 else int(level)
+
+    @level.setter
+    def level(self, value: Optional[int]) -> None:
+        self._columns.level[self.node_id] = -1 if value is None else value
+
+    @property
+    def forwarded_veto(self) -> bool:
+        return bool(self._columns.forwarded_veto[self.node_id])
+
+    @forwarded_veto.setter
+    def forwarded_veto(self, value: bool) -> None:
+        self._columns.forwarded_veto[self.node_id] = value
+
+    @property
+    def forwarded_beacon(self) -> bool:
+        return bool(self._columns.forwarded_beacon[self.node_id])
+
+    @forwarded_beacon.setter
+    def forwarded_beacon(self, value: bool) -> None:
+        self._columns.forwarded_beacon[self.node_id] = value
+
+    @property
+    def crash_suspected(self) -> bool:
+        return bool(self._columns.crash_suspected[self.node_id])
+
+    @crash_suspected.setter
+    def crash_suspected(self, value: bool) -> None:
+        self._columns.crash_suspected[self.node_id] = value

@@ -25,13 +25,27 @@ one shared list of :class:`_SendBatch` objects, and materializes
   other and parks the object in a side table keyed by row position, so
   mixed eager/lazy deposits keep one global order.
 
+**Sharded delivery fanout.**  Above
+:data:`~repro.perf.shard.DELIVERY_REGION_MIN_IDS` ids, each interval's
+columns are partitioned by *receiver region* — the same contiguous id
+ranges :func:`repro.perf.shard.regions` hands the build-time fork
+workers, applied in-process to the deposit/group/deliver pass.  Every
+receiver maps to exactly one region, so the per-region stable argsort
+preserves the per-receiver deposit-order contract verbatim, and regions
+are ascending id ranges, so region-order iteration is globally sorted.
+The win is incremental regrouping: an append dirties only its region,
+so the next read re-sorts one region's columns instead of the whole
+interval's (at 1M nodes the difference between re-sorting ~60k and ~1M
+rows every time the adversary injects mid-interval).
+
 The verdict column holds the transmit-time precheck outcome: ``1`` rows
 materialize with ``verified=None`` (the lazy path — resolves ``True``
 unless an adversary materializes the MAC first) and ``0`` rows with
 ``verified=False``, exactly the two constructor calls the object path
-makes.  :class:`~repro.net.network.PhaseContext` only installs this
-store on the optimized path (caching enabled, no tracer, no transport
-factory); the reference path keeps :class:`SimTransport` unchanged.
+makes.  :class:`~repro.net.network.PhaseContext` installs this store on
+the optimized path (caching enabled, no transport factory) — attacked
+and traced runs included; the cache-disabled reference path keeps
+:class:`SimTransport` unchanged.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
+from ..perf.shard import delivery_region_geometry
 from .transport import _EMPTY_ARRIVALS
 
 #: Resolved lazily to dodge the import cycle (network.py imports this
@@ -58,8 +73,8 @@ def _delivery_class():
     return _DELIVERY
 
 
-class _IntervalStore:
-    """Append-only frame columns for one interval."""
+class _RegionColumns:
+    """Append-only frame columns for one receiver region of one interval."""
 
     __slots__ = ("receivers", "keys", "batch_ids", "verdicts", "obj_rows",
                  "_groups", "_grouped_rows")
@@ -102,14 +117,56 @@ class _IntervalStore:
         return groups
 
 
+class _IntervalStore:
+    """One interval's frames, partitioned into receiver regions.
+
+    Regions are contiguous ``region_size``-wide id ranges (the last one
+    absorbs any id past the declared bound — wormhole sends can target
+    ids the geometry never saw).  A single-region geometry degenerates
+    to the unpartitioned store.
+    """
+
+    __slots__ = ("region_size", "num_regions", "_regions", "total_rows")
+
+    def __init__(self, region_size: int, num_regions: int) -> None:
+        self.region_size = region_size
+        self.num_regions = num_regions
+        self._regions: List[Optional[_RegionColumns]] = [None] * num_regions
+        self.total_rows = 0
+
+    def columns_for(self, receiver: int) -> _RegionColumns:
+        """The (created-on-demand) region columns owning ``receiver``."""
+        index = receiver // self.region_size
+        if index >= self.num_regions or index < 0:
+            index = self.num_regions - 1
+        columns = self._regions[index]
+        if columns is None:
+            columns = self._regions[index] = _RegionColumns()
+        return columns
+
+    def peek_columns(self, receiver: int) -> Optional[_RegionColumns]:
+        """Like :meth:`columns_for` but ``None`` when the region is empty."""
+        index = receiver // self.region_size
+        if index >= self.num_regions or index < 0:
+            index = self.num_regions - 1
+        return self._regions[index]
+
+    def region_iter(self) -> Iterator[_RegionColumns]:
+        """Non-empty regions in ascending id-range order."""
+        for columns in self._regions:
+            if columns is not None:
+                yield columns
+
+
 class SoATransport:
     """Column frame store satisfying the transport contract."""
 
-    __slots__ = ("_stores", "_batches")
+    __slots__ = ("_stores", "_batches", "_region_size", "_num_regions")
 
-    def __init__(self) -> None:
+    def __init__(self, num_ids: int = 0) -> None:
         self._stores: Dict[int, _IntervalStore] = {}
         self._batches: List[object] = []
+        self._region_size, self._num_regions = delivery_region_geometry(num_ids)
 
     # ------------------------------------------------------------------
     # Deposits
@@ -123,25 +180,34 @@ class SoATransport:
         batches.append(batch)
         return len(batches) - 1
 
+    def _store(self, interval: int) -> _IntervalStore:
+        store = self._stores.get(interval)
+        if store is None:
+            store = self._stores[interval] = _IntervalStore(
+                self._region_size, self._num_regions
+            )
+        return store
+
     def deposit_columns(
         self, interval: int, receiver: int, batch: object, key_index: int, accepted: bool
     ) -> None:
         """Record one frame without constructing a :class:`Delivery`."""
-        store = self._stores.get(interval)
-        if store is None:
-            store = self._stores[interval] = _IntervalStore()
-        store.append(receiver, key_index, self._batch_id(batch), 1 if accepted else 0)
+        store = self._store(interval)
+        store.columns_for(receiver).append(
+            receiver, key_index, self._batch_id(batch), 1 if accepted else 0
+        )
+        store.total_rows += 1
 
     def deposit(self, interval: int, receiver: int, delivery) -> None:
         """Object deposit (eager frames, injected duplicates): keeps one
-        global row order with column deposits."""
-        store = self._stores.get(interval)
-        if store is None:
-            store = self._stores[interval] = _IntervalStore()
-        position = store.append(receiver, delivery.key_index, -1, 0)
-        if store.obj_rows is None:
-            store.obj_rows = {}
-        store.obj_rows[position] = delivery
+        per-receiver row order with column deposits."""
+        store = self._store(interval)
+        columns = store.columns_for(receiver)
+        position = columns.append(receiver, delivery.key_index, -1, 0)
+        store.total_rows += 1
+        if columns.obj_rows is None:
+            columns.obj_rows = {}
+        columns.obj_rows[position] = delivery
 
     # ------------------------------------------------------------------
     # Reads
@@ -150,15 +216,23 @@ class SoATransport:
         store = self._stores.get(interval)
         if store is None:
             return []
-        rows = store.groups().get(receiver)
+        columns = store.peek_columns(receiver)
+        if columns is None:
+            return []
+        rows = columns.groups().get(receiver)
         if rows is None:
             return []
+        return self._materialize(columns, rows, receiver, interval)
+
+    def _materialize(
+        self, columns: _RegionColumns, rows: np.ndarray, receiver: int, interval: int
+    ) -> List[object]:
         delivery_cls = _delivery_class()
         batches = self._batches
-        obj_rows = store.obj_rows
-        keys = store.keys
-        batch_ids = store.batch_ids
-        verdicts = store.verdicts
+        obj_rows = columns.obj_rows
+        keys = columns.keys
+        batch_ids = columns.batch_ids
+        verdicts = columns.verdicts
         out: List[object] = []
         for position in rows.tolist():
             if obj_rows is not None:
@@ -179,7 +253,7 @@ class SoATransport:
 
     def arrivals(self, interval: int) -> Mapping:
         store = self._stores.get(interval)
-        if store is None or not len(store.receivers):
+        if store is None or not store.total_rows:
             return _EMPTY_ARRIVALS
         return _SoAArrivals(self, interval, store)
 
@@ -189,7 +263,9 @@ class _SoAArrivals(Mapping):
 
     Iteration is ascending by receiver id (every consumer sorts anyway;
     the reference mapping iterates in first-deposit order, which no code
-    path observes).  ``__getitem__`` materializes frames on demand.
+    path observes): regions are ascending contiguous id ranges, so
+    walking regions in order and sorting within each yields the global
+    sorted order.  ``__getitem__`` materializes frames on demand.
     """
 
     __slots__ = ("_transport", "_interval", "_store")
@@ -200,15 +276,23 @@ class _SoAArrivals(Mapping):
         self._store = store
 
     def __getitem__(self, receiver: int) -> List[object]:
-        if receiver not in self._store.groups():
+        columns = self._store.peek_columns(receiver)
+        if columns is None:
             raise KeyError(receiver)
-        return self._transport.frames(self._interval, receiver)
+        rows = columns.groups().get(receiver)
+        if rows is None:
+            raise KeyError(receiver)
+        return self._transport._materialize(columns, rows, receiver, self._interval)
 
     def __contains__(self, receiver: object) -> bool:
-        return receiver in self._store.groups()
+        if not isinstance(receiver, int):
+            return False
+        columns = self._store.peek_columns(receiver)
+        return columns is not None and receiver in columns.groups()
 
     def __iter__(self) -> Iterator[int]:
-        return iter(sorted(self._store.groups()))
+        for columns in self._store.region_iter():
+            yield from sorted(columns.groups())
 
     def __len__(self) -> int:
-        return len(self._store.groups())
+        return sum(len(c.groups()) for c in self._store.region_iter())

@@ -160,13 +160,22 @@ def autosize_caches(num_nodes: int, pool_size: int = 0) -> Dict[str, int]:
     pool = max(0, int(pool_size))
     nodes = max(1, int(num_nodes))
     targets = {
-        # One keyed HMAC state per sensor key in use plus one per pool
-        # key; pool keys dominate small deployments, sensor keys large.
-        "hmac-keyed-states": nodes + min(pool, 4 * nodes) + 2048,
-        # Raw derived keys: every sensor key and pool key, once.
-        "derived-keys": nodes + pool + 2048,
+        # One keyed HMAC state per *reused* key: the touched pool keys
+        # plus broadcast/base-station keys.  Per-sensor keyed states are
+        # no longer inserted by the bulk signing sweep
+        # (``sign_instance_values`` passes ``store=False``), so sensor
+        # count stopped being a sizing term.
+        "hmac-keyed-states": min(pool, 4 * nodes) + 2048,
+        # Raw derived keys: every pool key, once (bulk per-sensor key
+        # derivation also skips insertion).
+        "derived-keys": pool + 2048,
         # Wire encodings of node ids (senders/receivers).
         "id-encodings": nodes + 1024,
+        # Canonical payload encodings: the aggregation phase encodes one
+        # payload per participating sensor per execution, so the bound
+        # must scale with the topology (4096 thrashed at 100k nodes:
+        # 114k evictions in one sweep).
+        "payload-encodings": nodes + 2048,
     }
     applied: Dict[str, int] = {}
     for name, want in targets.items():

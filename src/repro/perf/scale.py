@@ -27,10 +27,14 @@ by ``tests/test_soa.py``'s bit-identity matrix over the SoA kernel).
 Line topologies stop at 1,000 nodes by design: a 10k-node line has
 depth bound ~10k, and the paper's interval loop is O(n x L) — that cell
 measures patience, not the optimization layer.  The 10k point uses a
-100x100 grid (depth bound 198); the 100k point uses a 250x400 grid and
-additionally enforces the absolute memory gate: peak bytes/node must
-stay strictly below :data:`MEMORY_BYTES_PER_NODE_GATE` (the 10k-grid
-footprint of the pre-SoA object kernel), or the cell raises.
+100x100 grid (depth bound 198); the 100k point uses a 250x400 grid; the
+opt-in 1M point (``make bench-scale-1m``) a 1000x1000 grid.  Cells at
+or above 100k nodes additionally enforce two absolute gates: peak
+bytes/node must stay strictly below :data:`MEMORY_BYTES_PER_NODE_GATE`
+(the 10k-grid footprint of the pre-SoA object kernel), and build plus
+optimized execution wall time must stay under the
+:data:`SCALE_BUDGET_S` wall-clock budget (``REPRO_SCALE_BUDGET_S``
+overrides), or the cell raises.
 
 ``python -m repro bench scale`` drives this module, writes
 ``BENCH_scale.json`` and gates regressions with
@@ -46,6 +50,7 @@ from __future__ import annotations
 
 import gc
 import math
+import os
 import resource
 import sys
 import time
@@ -61,8 +66,21 @@ from .cache import cache_stats, clear_caches, disabled, merge_cache_stats
 #: millions of per-node containers).
 SCALE_SIZES: Tuple[int, ...] = (100, 1_000, 10_000, 100_000)
 
-#: Cells at/above this node count must hold the memory gate.
+#: The opt-in top size: one million nodes on a 1000x1000 grid.  Not in
+#: the default sweep (its build alone is minutes of wall) — run it via
+#: ``make bench-scale-1m`` or ``bench scale --sizes ... 1000000``.
+MILLION_NODES = 1_000_000
+
+#: Cells at/above this node count must hold the memory gate and the
+#: wall-clock budget.
 MEMORY_GATE_MIN_NODES = 100_000
+
+#: Wall-clock budget (seconds) for gated cells: deployment build plus
+#: the optimized executions must finish inside it.  Sized so the 100k
+#: cell (~30 s) passes with an order of magnitude of slack and a 1M
+#: cell that degenerated back to object-path scaling (> 10x the
+#: column-kernel wall) fails.  ``REPRO_SCALE_BUDGET_S`` overrides.
+SCALE_BUDGET_S = 1_800.0
 
 #: Peak-RSS budget per node for gated cells, in bytes: the 10k grid
 #: cell's whole-process footprint *before* the struct-of-arrays kernel
@@ -85,6 +103,19 @@ _SCALE_SEED = 2011  # ICDCS 2011 — fixed so payloads are comparable
 #: deployment) without changing the deployment build cost.
 _EXECUTIONS = {"grid": 2, "line": 2}
 _EXECUTIONS_10K = 1  # one execution is plenty of work at 10k nodes
+
+
+def scale_budget_s() -> float:
+    """The gated cells' wall-clock budget (env-overridable, seconds)."""
+    raw = os.environ.get("REPRO_SCALE_BUDGET_S", "").strip()
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return SCALE_BUDGET_S
 
 
 def grid_dims(nodes: int) -> Tuple[int, int]:
@@ -157,7 +188,7 @@ def _peak_rss_kb() -> int:
     return int(peak)
 
 
-def _build_deployment(kind: str, nodes: int, seed: int):
+def _build_deployment(kind: str, nodes: int, seed: int, malicious_ids=None):
     from dataclasses import replace
 
     from .. import build_deployment, small_test_config
@@ -183,7 +214,12 @@ def _build_deployment(kind: str, nodes: int, seed: int):
     # pool-key derivation, ring intersection) multiplies with the ring
     # fan-out while the per-broadcast work stays constant.
     config = replace(config, network=replace(config.network, multipath=True))
-    return build_deployment(config=config, topology=topology, seed=seed)
+    return build_deployment(
+        config=config,
+        topology=topology,
+        malicious_ids=set(malicious_ids or ()),
+        seed=seed,
+    )
 
 
 def _run_executions(kind: str, nodes: int, executions: int, seed: int):
@@ -291,6 +327,88 @@ def reference_equality(
     }
 
 
+def _run_attacked_executions(
+    kind: str, nodes: int, executions: int, strategy: str, seed: int
+):
+    """One attacked leg: fresh deployment, zoo adversary, same readings.
+
+    Returns (outcome values, metrics_dict, total_frames).  Unlike the
+    honest leg, a failed execution is a legal outcome (e.g. relay-drop
+    chokes the tree) — the outcome *sequence* is part of the compared
+    state instead.
+    """
+    from .. import MinQuery, VMATProtocol
+    from ..adversary import Adversary, make_strategy
+
+    malicious = {max(1, nodes // 3), max(2, nodes // 2)}
+    deployment = _build_deployment(kind, nodes, seed, malicious_ids=malicious)
+    network = deployment.network
+    adversary = Adversary(network, make_strategy(strategy), seed=seed)
+    protocol = VMATProtocol(network, adversary=adversary)
+    readings = {i: 10.0 + (i % 9) for i in deployment.topology.sensor_ids}
+    outcomes = [
+        protocol.execute(MinQuery(), readings).outcome.value
+        for _ in range(executions)
+    ]
+    metrics = network.metrics
+    return outcomes, metrics.to_dict(), metrics.total_messages()
+
+
+def attacked_reference_equality(
+    kind: str,
+    nodes: int,
+    executions: int,
+    strategy: str = "relay-drop",
+    seed: int = _SCALE_SEED,
+) -> Dict[str, float]:
+    """Disabled-vs-warm equality for one *attacked* cell.
+
+    The hybrid kernel keeps adversarial runs on the columns, so the
+    same contract as :func:`reference_equality` must hold with a zoo
+    strategy active: byte-identical ``Metrics.to_dict()``, identical
+    outcome sequence, identical frame counts.  Two deterministic
+    mid-topology sensors are compromised (colluding strategies need at
+    least two); both legs build fresh deployments and re-seed the
+    adversary identically.  Raises :class:`ReproError` on divergence.
+    """
+    with disabled():
+        ref_outcomes, ref_metrics, ref_frames = _run_attacked_executions(
+            kind, nodes, executions, strategy, seed
+        )
+    clear_caches()
+    opt_outcomes, opt_metrics, opt_frames = _run_attacked_executions(
+        kind, nodes, executions, strategy, seed
+    )
+    if ref_outcomes != opt_outcomes:
+        raise ReproError(
+            f"attacked scale cell {kind}-{nodes} ({strategy}): outcome "
+            f"sequences diverge ({ref_outcomes} reference vs {opt_outcomes} "
+            "warm)"
+        )
+    if ref_metrics != opt_metrics:
+        diverging = sorted(
+            key
+            for key in set(ref_metrics) | set(opt_metrics)
+            if ref_metrics.get(key) != opt_metrics.get(key)
+        )
+        raise ReproError(
+            f"attacked scale cell {kind}-{nodes} ({strategy}): disabled and "
+            f"warm runs diverge on metrics keys {diverging} — bit-identity "
+            "broken"
+        )
+    if ref_frames != opt_frames:
+        raise ReproError(
+            f"attacked scale cell {kind}-{nodes} ({strategy}): frame counts "
+            f"diverge ({ref_frames} reference vs {opt_frames} warm)"
+        )
+    return {
+        "metrics_equal": 1.0,
+        "frames": float(opt_frames),
+        "messages_sent": float(sum(opt_metrics["messages_sent"].values())),
+        "intervals": float(opt_metrics["intervals_elapsed"]),
+    }
+
+
 def run_scale_cell(kind: str, nodes: int, with_reference: bool) -> ScaleResult:
     """Run one (kind, nodes) cell; reference leg only when requested."""
     executions = _EXECUTIONS_10K if nodes >= 10_000 else _EXECUTIONS[kind]
@@ -326,6 +444,13 @@ def run_scale_cell(kind: str, nodes: int, with_reference: bool) -> ScaleResult:
             f"(peak RSS {peak_rss_kb} KB) breaches the "
             f"{MEMORY_BYTES_PER_NODE_GATE} bytes/node gate — the "
             "struct-of-arrays kernel is not carrying this size"
+        )
+    budget = scale_budget_s()
+    if nodes >= MEMORY_GATE_MIN_NODES and build_s + opt_s > budget:
+        raise ReproError(
+            f"scale cell {kind}-{nodes}: build + optimized executions took "
+            f"{build_s + opt_s:.1f} s, over the {budget:.0f} s wall-clock "
+            "budget (REPRO_SCALE_BUDGET_S overrides)"
         )
     return ScaleResult(
         cell=f"{kind}-{nodes}",

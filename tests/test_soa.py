@@ -33,7 +33,7 @@ from repro.perf.cache import (
     disabled,
 )
 from repro.perf.scale import reference_equality
-from repro.perf.shard import fork_map, regions, shard_count
+from repro.perf.shard import delivery_region_geometry, fork_map, regions, shard_count
 from repro.topology.generators import grid_topology, line_topology
 
 
@@ -129,6 +129,34 @@ class TestTransportOrder:
         with pytest.raises(KeyError):
             arrived[7]
 
+    def test_multi_region_store_replays_reference_deposit_order(self, monkeypatch):
+        # Force the region-partitioned store on an 8-id topology (3
+        # regions instead of the automatic 1) and replay against the
+        # reference transport at zero tolerance: per receiver, frames
+        # must come back in the exact reference deposit order even when
+        # senders straddle region boundaries.
+        assert caching_enabled()
+        monkeypatch.setenv("REPRO_DELIVERY_REGIONS", "3")
+        net, phase = self._phase()
+        assert type(phase.transport) is SoATransport
+        self._send_pattern(net, phase)
+        warm = self._orders(phase, (1, 3, 5))
+        monkeypatch.delenv("REPRO_DELIVERY_REGIONS")
+        with disabled():
+            net_ref, phase_ref = self._phase()
+            assert type(phase_ref.transport) is not SoATransport
+            self._send_pattern(net_ref, phase_ref)
+            reference = self._orders(phase_ref, (1, 3, 5))
+        assert warm == reference
+
+    def test_multi_region_full_execution_bit_identical(self, monkeypatch):
+        # End-to-end with the fanout forced multi-region: metrics must
+        # stay byte-identical to the cache-disabled reference.
+        monkeypatch.setenv("REPRO_DELIVERY_REGIONS", "4")
+        clear_caches()
+        out = reference_equality("grid", 100, executions=2)
+        assert out["metrics_equal"] == 1.0
+
 
 def _square(x):
     # Module-level so the fork pool can pickle it.
@@ -161,6 +189,26 @@ class TestSharding:
         args = list(range(7))
         assert fork_map(_square, args, shards=1) == [x * x for x in args]
         assert fork_map(_square, args, shards=4) == [x * x for x in args]
+
+    def test_delivery_region_geometry_auto(self):
+        # Below the 20k-id threshold the store stays unpartitioned.
+        assert delivery_region_geometry(0) == (1, 1)
+        assert delivery_region_geometry(100) == (100, 1)
+        assert delivery_region_geometry(19_999) == (19_999, 1)
+        # At scale: one region per 20k ids, capped at 16.
+        assert delivery_region_geometry(100_000) == (20_000, 5)
+        assert delivery_region_geometry(1_000_000) == (62_500, 16)
+
+    def test_delivery_region_geometry_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DELIVERY_REGIONS", "5")
+        assert delivery_region_geometry(100) == (20, 5)
+        monkeypatch.setenv("REPRO_DELIVERY_REGIONS", "1")
+        assert delivery_region_geometry(100_000) == (100_000, 1)
+        # More regions than ids clamps to one region per id.
+        monkeypatch.setenv("REPRO_DELIVERY_REGIONS", "64")
+        assert delivery_region_geometry(8) == (1, 8)
+        monkeypatch.setenv("REPRO_DELIVERY_REGIONS", "junk")
+        assert delivery_region_geometry(100) == (100, 1)
 
 
 # ----------------------------------------------------------------------
@@ -299,17 +347,21 @@ class TestCacheSizing:
 
 
 # ----------------------------------------------------------------------
-# Column-kernel gating: exactly the honest inline configuration
+# Column-kernel gating: every inline run, honest or attacked
 # ----------------------------------------------------------------------
 class TestColumnGating:
     """`columns_enabled` pins which runs may take the SoA interval loops.
 
-    The column kernel covers exactly the honest inline configuration;
-    an adversary's hooks mutate node objects mid-interval, so attacked
-    runs must disengage to the object reference path.  These tests pin
-    the gate in both directions plus the bit-identity consequence: an
-    attacked run behaves identically whether the perf layer is warm or
-    disabled, because neither variant is allowed near the columns.
+    The hybrid kernel covers every inline configuration: attacked runs
+    stay columnar (adversary hooks mutate only their own
+    MaliciousNodeState rows and inject through the shared transport),
+    and tracer attachment stays columnar too (the transmit fast path
+    emits the identical trace event from scalars).  Only a service
+    driver or the cache-disable switch routes a phase through the
+    object reference loops.  These tests pin the gate in both
+    directions plus the bit-identity consequence: an attacked run
+    behaves identically whether the columns carried it or the perf
+    layer was disabled entirely.
     """
 
     def _deployment(self, malicious=frozenset()):
@@ -327,27 +379,37 @@ class TestColumnGating:
         network = self._deployment().network
         assert columns_enabled(network, None)
 
-    def test_adversary_disengages_columns(self):
+    def test_columns_cover_attacked_runs(self):
         from repro.adversary import Adversary, make_strategy
         from repro.core.phase_state import columns_enabled
 
         network = self._deployment(malicious={4}).network
         adversary = Adversary(network, make_strategy("drop-minimum"), seed=13)
-        assert not columns_enabled(network, adversary)
+        assert columns_enabled(network, adversary)
 
-    def test_tracer_and_disable_switch_disengage_columns(self):
+    def test_columns_cover_traced_runs(self):
         from repro.core.phase_state import columns_enabled
         from repro.tracing import Tracer
 
         network = self._deployment().network
+        Tracer.attach(network)
+        try:
+            assert columns_enabled(network, None)
+        finally:
+            network.tracer = None
+
+    def test_disable_switch_and_driver_disengage_columns(self):
+        from repro.core.phase_state import columns_enabled
+
+        network = self._deployment().network
         with disabled():
             assert not columns_enabled(network, None)
-        Tracer.attach(network)
+        assert columns_enabled(network, None)
+        network.honest_driver = object()  # service seam: state lives off-process
         try:
             assert not columns_enabled(network, None)
         finally:
-            network.tracer = None
-        assert columns_enabled(network, None)
+            network.honest_driver = None
 
     def _attacked_metrics(self):
         from repro.adversary import Adversary, make_strategy
@@ -369,23 +431,55 @@ class TestColumnGating:
         assert warm_outcomes == ref_outcomes
         assert warm_metrics == ref_metrics
 
-    @pytest.mark.xfail(
-        strict=True,
-        reason=(
-            "Known SoA gap: the column kernel does not cover attacked runs "
-            "(adversary hooks mutate node objects mid-interval), so "
-            "columns_enabled disengages whenever an adversary is attached. "
-            "If column coverage is ever extended to adversarial runs this "
-            "XPASS will fail the suite and force re-pinning the gate."
-        ),
-    )
-    def test_columns_cover_attacked_runs(self):
-        from repro.adversary import Adversary, make_strategy
-        from repro.core.phase_state import columns_enabled
 
-        network = self._deployment(malicious={4}).network
-        adversary = Adversary(network, make_strategy("drop-minimum"), seed=13)
-        assert columns_enabled(network, adversary)
+# ----------------------------------------------------------------------
+# Adversarial bit-identity matrix: zoo x tracer x topology
+# ----------------------------------------------------------------------
+class TestAdversarialBitIdentityMatrix:
+    """The hybrid kernel's equality contract under active adversaries.
+
+    Every cell runs the same two-execution campaign twice — warm column
+    kernel, then with every cache disabled (the object reference path)
+    — and asserts outcome sequence, ``Metrics.to_dict()`` and, when a
+    tracer is attached, the full event stream are equal.  The matrix
+    spans a single-node zoo strategy (relay-drop) and a colluding one
+    (cover-accomplice), tracer on/off, and line/grid topologies — the
+    configurations ISSUE 10 moved onto the columns.
+    """
+
+    def _run(self, strategy, topo, traced, seed=17):
+        from repro.adversary import Adversary, make_strategy
+        from repro.tracing import Tracer
+
+        topology = line_topology(10) if topo == "line" else grid_topology(4, 4)
+        deployment = build_deployment(
+            config=small_test_config(depth_bound=20),
+            topology=topology,
+            malicious_ids={3, 5},  # cover-accomplice needs >= 2 colluders
+            seed=seed,
+        )
+        network = deployment.network
+        adversary = Adversary(network, make_strategy(strategy), seed=seed)
+        tracer = Tracer.attach(network) if traced else None
+        protocol = VMATProtocol(network, adversary=adversary)
+        readings = {i: 50.0 + i for i in deployment.topology.sensor_ids}
+        outcomes = [
+            protocol.execute(MinQuery(), readings).outcome.value for _ in range(2)
+        ]
+        trace = [(e.kind, e.fields) for e in tracer] if tracer is not None else None
+        return outcomes, network.metrics.to_dict(), trace
+
+    @pytest.mark.parametrize("topo", ["line", "grid"])
+    @pytest.mark.parametrize("traced", [False, True], ids=["untraced", "traced"])
+    @pytest.mark.parametrize("strategy", ["relay-drop", "cover-accomplice"])
+    def test_warm_matches_disabled(self, strategy, traced, topo):
+        clear_caches()
+        warm = self._run(strategy, topo, traced)
+        with disabled():
+            reference = self._run(strategy, topo, traced)
+        assert warm[0] == reference[0]  # outcome sequence
+        assert warm[1] == reference[1]  # metrics, byte for byte
+        assert warm[2] == reference[2]  # trace events (None when untraced)
 
 
 # ----------------------------------------------------------------------
